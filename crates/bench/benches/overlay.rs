@@ -1,0 +1,63 @@
+//! Criterion bench: overlay route computation and re-optimization at
+//! realistic overlay sizes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gridvm_simcore::time::{SimDuration, SimTime};
+use gridvm_vnet::overlay::Overlay;
+
+fn full_mesh(n: u32) -> Overlay {
+    let mut ov = Overlay::new();
+    let nodes: Vec<_> = (0..n).map(|_| ov.add_node()).collect();
+    ov.probe_mesh(SimTime::ZERO, |a, b| {
+        Some(SimDuration::from_millis(
+            5 + (u64::from(a.0) * 31 + u64::from(b.0) * 17) % 80,
+        ))
+    });
+    assert_eq!(ov.nodes().len(), nodes.len());
+    ov
+}
+
+fn bench_overlay(c: &mut Criterion) {
+    for n in [8u32, 32] {
+        c.bench_function(&format!("overlay: all-pairs routes, {n} nodes"), |b| {
+            b.iter_batched(
+                || full_mesh(n),
+                |mut ov| {
+                    let nodes = ov.nodes().to_vec();
+                    let mut total = SimDuration::ZERO;
+                    for a in &nodes {
+                        for z in &nodes {
+                            if a != z {
+                                total += ov.route(*a, *z).expect("connected").latency;
+                            }
+                        }
+                    }
+                    total
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    c.bench_function("overlay: degrade + reroute cycle, 16 nodes", |b| {
+        b.iter_batched(
+            || full_mesh(16),
+            |mut ov| {
+                let nodes = ov.nodes().to_vec();
+                for i in 0..16 {
+                    let a = nodes[i % nodes.len()];
+                    let z = nodes[(i * 7 + 3) % nodes.len()];
+                    if a != z {
+                        ov.update_measurement(a, z, SimDuration::from_millis(500));
+                        let _ = ov.route(a, z).expect("connected");
+                    }
+                }
+                ov.reroutes()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_overlay);
+criterion_main!(benches);

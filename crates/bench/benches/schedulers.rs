@@ -1,0 +1,44 @@
+//! Criterion bench: scheduler decision cost per quantum across the
+//! five families, at realistic run-queue depths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridvm_sched::{SchedulerKind, TaskId, TaskParams};
+use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::time::{SimDuration, SimTime};
+
+fn bench_schedulers(c: &mut Criterion) {
+    for kind in SchedulerKind::ALL {
+        for depth in [4usize, 32] {
+            let name = format!("{kind}: select+charge, {depth} runnable");
+            c.bench_function(&name, |b| {
+                let mut s = kind.build();
+                let ids: Vec<TaskId> = (0..depth as u64).map(TaskId).collect();
+                for id in &ids {
+                    let params = if kind == SchedulerKind::Edf && id.0 % 4 == 0 {
+                        TaskParams::with_reservation(
+                            SimDuration::from_millis(100),
+                            SimDuration::from_millis(2),
+                        )
+                    } else {
+                        TaskParams::with_weight(100 + id.0 as u32)
+                    };
+                    s.add_task(*id, params);
+                }
+                let mut rng = SimRng::seed_from(7);
+                let quantum = SimDuration::from_millis(10);
+                let mut now = SimTime::ZERO;
+                b.iter(|| {
+                    let picked = s.select(&ids, 2, now, quantum, &mut rng);
+                    for id in &picked {
+                        s.charge(*id, quantum);
+                    }
+                    now += quantum;
+                    picked.len()
+                })
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! **Ablation A3** — overlay routing versus direct tunnels
+//! (Section 3.3): when the direct underlay path between two remote
+//! VMs degrades, the self-optimizing overlay relays through a third
+//! VM; direct tunneling is stuck with the degraded path.
+
+use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::time::{SimDuration, SimTime};
+use gridvm_vnet::overlay::Overlay;
+
+fn main() {
+    let opts = Options::from_args();
+    banner(
+        "Ablation A3: overlay self-optimization vs direct paths",
+        &opts,
+    );
+    let mut rng = SimRng::seed_from(opts.seed);
+
+    // Five VMs across sites; base mesh latencies 20-60 ms.
+    let mut ov = Overlay::new();
+    let nodes: Vec<_> = (0..5).map(|_| ov.add_node()).collect();
+    ov.probe_mesh(SimTime::ZERO, |a, b| {
+        Some(SimDuration::from_millis(
+            20 + (u64::from(a.0) * 7 + u64::from(b.0) * 13) % 41,
+        ))
+    });
+    let (src, dst) = (nodes[0], nodes[4]);
+    let healthy_direct = ov.direct_latency(src, dst).expect("mesh probed");
+    let healthy_route = ov.route(src, dst).expect("connected").latency;
+
+    // Degrade the direct path by 3x-20x and compare.
+    let mut rows = vec![vec![
+        "healthy".to_owned(),
+        format!("{:.0}", healthy_direct.as_secs_f64() * 1e3),
+        format!("{:.0}", healthy_route.as_secs_f64() * 1e3),
+        "1.00x".to_owned(),
+    ]];
+    for factor in [3u64, 8, 20] {
+        let degraded = healthy_direct * factor;
+        ov.update_measurement(src, dst, degraded);
+        // Background probe noise on other pairs keeps the mesh live.
+        let jitter_ms = rng.next_in(0, 3);
+        let _ = jitter_ms;
+        let route = ov.route(src, dst).expect("still connected");
+        rows.push(vec![
+            format!("direct degraded {factor}x"),
+            format!("{:.0}", degraded.as_secs_f64() * 1e3),
+            format!("{:.0}", route.latency.as_secs_f64() * 1e3),
+            format!(
+                "{:.2}x",
+                degraded.as_secs_f64() / route.latency.as_secs_f64()
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["condition", "direct (ms)", "overlay (ms)", "gain"],
+            &rows,
+            22
+        )
+    );
+    println!(
+        "reroutes performed: {} (overlay re-optimized itself as measurements changed)",
+        ov.reroutes()
+    );
+    println!(
+        "expected: overlay latency plateaus at the best relay path while direct keeps worsening"
+    );
+}

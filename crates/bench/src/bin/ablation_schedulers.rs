@@ -1,0 +1,95 @@
+//! **Ablation A2** — scheduler families enforcing owner constraints
+//! (Section 3.2): an interactive owner task shares a host with a
+//! greedy grid VM under each scheduler family; we measure the
+//! owner's slowdown and the VM's achieved throughput.
+//!
+//! The paper's argument: proportional-share or real-time scheduling
+//! of VMM processes lets a provider bound the impact of grid VMs on
+//! local users. The constraint-language compiler picks EDF for
+//! policies with reserves; this bench shows why.
+
+use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_host::{HostConfig, HostSim, TaskSpec};
+use gridvm_sched::constraint::compile;
+use gridvm_sched::{SchedulerKind, TaskParams};
+use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::time::SimDuration;
+use gridvm_simcore::units::CpuWork;
+
+fn main() {
+    let opts = Options::from_args();
+    banner(
+        "Ablation A2: owner protection across scheduler families",
+        &opts,
+    );
+
+    // The owner policy the constraint language would compile.
+    let policy = compile(
+        r#"
+        host cores 1;
+        owner reserve 0.5;
+        vm "grid-vm" tickets 100;
+        "#,
+    )
+    .expect("valid policy");
+    println!(
+        "policy compiles to: {} (owner reserve {})",
+        policy.scheduler_kind(),
+        policy.owner_reserve
+    );
+    println!();
+
+    let cores = 1;
+    let hz = 800e6;
+    let owner_secs = if opts.quick { 1.0 } else { 4.0 };
+    let owner_work = CpuWork::from_duration(SimDuration::from_secs_f64(owner_secs), hz);
+
+    let mut rows = Vec::new();
+    for kind in SchedulerKind::ALL {
+        let mut host = HostSim::new(
+            HostConfig {
+                cores,
+                clock_hz: hz,
+                ..HostConfig::default()
+            },
+            kind.build(),
+            SimRng::seed_from(opts.seed),
+        );
+        // Owner task: gets the policy's reservation under EDF, a
+        // high weight elsewhere.
+        let owner_params = match kind {
+            SchedulerKind::Edf => TaskParams::with_reservation(
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(50),
+            ),
+            _ => TaskParams::with_weight(100),
+        };
+        let owner = host.spawn(TaskSpec::compute(owner_work).with_params(owner_params));
+        // Greedy grid VM: 10x the owner's work, equal tickets.
+        let vm = host.spawn(
+            TaskSpec::compute(owner_work.mul_f64(10.0))
+                .with_params(TaskParams::with_weight(100))
+                .with_switch_overhead(SimDuration::from_micros(85)),
+        );
+        let owner_out = host
+            .run_until_complete(owner, SimDuration::from_secs(600))
+            .expect("owner finishes");
+        let vm_out = host
+            .run_until_complete(vm, SimDuration::from_secs(600))
+            .expect("vm finishes");
+        let owner_slowdown = owner_out.wall_time().as_secs_f64() / owner_secs;
+        rows.push(vec![
+            kind.label().to_owned(),
+            format!("{:.2}x", owner_slowdown),
+            format!("{:.1}", vm_out.wall_time().as_secs_f64()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["scheduler", "owner slowdown", "VM finish (s)"], &rows, 12)
+    );
+    println!(
+        "expected: EDF bounds the owner near its 50% reserve (~2x); \
+         fair-share families near 2x with equal weights; the VM still progresses (work-conserving)"
+    );
+}

@@ -1,0 +1,64 @@
+//! **Extension E3** — RPS prediction quality (Section 3.2
+//! "application perspective"): the paper proposes RPS \[11\]
+//! time-series prediction as the basis for adaptation decisions. We
+//! generate host load at each intensity, fit the AR predictor over a
+//! sliding window, and compare its forecast error against the two
+//! naive baselines (last value, long-run mean) across horizons —
+//! reproducing the qualitative result of the RPS papers: AR wins at
+//! short horizons, converges to the mean at long ones.
+
+use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_gridmw::rps::ArPredictor;
+use gridvm_hostload::{LoadLevel, TraceGenerator};
+use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::stats::OnlineStats;
+
+fn main() {
+    let opts = Options::from_args();
+    banner("Extension E3: RPS AR prediction vs naive baselines", &opts);
+    let evals = opts.samples_or(if opts.quick { 100 } else { 600 });
+
+    let mut rows = Vec::new();
+    for level in [LoadLevel::Light, LoadLevel::Heavy] {
+        for horizon in [1usize, 10, 60] {
+            let mut rng = SimRng::seed_from(opts.seed).split(&format!("{level}/{horizon}"));
+            let trace = TraceGenerator::preset(level).generate(4096 + evals + horizon, &mut rng);
+            let xs = trace.samples();
+            let long_mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+
+            let mut predictor = ArPredictor::new(2, 2048);
+            let mut ar_err = OnlineStats::new();
+            let mut last_err = OnlineStats::new();
+            let mut mean_err = OnlineStats::new();
+            for (i, x) in xs.iter().enumerate() {
+                if i + horizon < xs.len() && i >= 512 && i < 512 + evals {
+                    let truth = xs[i + horizon];
+                    if let Ok(model) = predictor.fit() {
+                        let pred = predictor.predict(&model, horizon)[horizon - 1].mean;
+                        ar_err.record((pred - truth).abs());
+                        last_err.record((x - truth).abs());
+                        mean_err.record((long_mean - truth).abs());
+                    }
+                }
+                predictor.observe(*x);
+            }
+            rows.push(vec![
+                format!("{level} load, horizon {horizon}s"),
+                format!("{:.3}", ar_err.mean()),
+                format!("{:.3}", last_err.mean()),
+                format!("{:.3}", mean_err.mean()),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["scenario", "AR(2) MAE", "last-value", "long mean"],
+            &rows,
+            28
+        )
+    );
+    println!("expected: at 1s the persistence baseline (last value) is near-optimal for");
+    println!("a near-random-walk load; AR(2) overtakes it by 10s and dominates at 60s,");
+    println!("where the long-run mean is the only other competitive predictor");
+}

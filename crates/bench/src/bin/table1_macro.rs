@@ -1,0 +1,145 @@
+//! **Table 1** — macrobenchmarks: SPECseis and SPECclimate user/sys
+//! times and overheads on (a) the physical machine, (b) a VM with
+//! state on local disk, and (c) a VM with state accessed via the
+//! NFS-based grid virtual file system (PVFS) across a wide-area
+//! network.
+//!
+//! Paper targets: SPECseis 16414 s native, +1.2% VM/local, +2.0%
+//! VM/PVFS; SPECclimate 9307 s native, +4.0% VM/local, +4.2%
+//! VM/PVFS.
+
+use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_core::NfsGuestStorage;
+use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::time::SimTime;
+use gridvm_simcore::units::ByteSize;
+use gridvm_storage::disk::{DiskModel, DiskProfile};
+use gridvm_vfs::mount::{Mount, Transport};
+use gridvm_vfs::proxy::{ProxyConfig, VfsProxy};
+use gridvm_vfs::server::NfsServer;
+use gridvm_vmm::exec::{run_app, ExecMode, GuestRunReport, LocalDiskStorage};
+use gridvm_vmm::VirtCostModel;
+use gridvm_workloads::{spec, AppProfile};
+
+fn main() {
+    let opts = Options::from_args();
+    banner("Table 1: SPEChpc macrobenchmarks", &opts);
+    let model = VirtCostModel::default();
+
+    let mut rows = Vec::new();
+    for (make_app, paper_native, paper_vm, paper_pvfs) in [
+        (spec::specseis as fn() -> AppProfile, 16414.0, 1.2, 2.0),
+        (spec::specclimate as fn() -> AppProfile, 9307.0, 4.0, 4.2),
+    ] {
+        let app = scaled(&make_app(), &opts);
+        let scale = if opts.quick { 0.01 } else { 1.0 };
+
+        let native = run_local(&app, ExecMode::Native, &model, opts.seed);
+        let vm_local = run_local(&app, ExecMode::Virtualized, &model, opts.seed);
+        let vm_pvfs = run_pvfs(&app, &model, opts.seed);
+
+        for (resource, r) in [
+            ("Physical", &native),
+            ("VM, local disk", &vm_local),
+            ("VM, PVFS", &vm_pvfs),
+        ] {
+            let overhead = if std::ptr::eq(r, &native) {
+                "N/A".to_owned()
+            } else {
+                format!("{:.1}%", r.overhead_vs(&native) * 100.0)
+            };
+            rows.push(vec![
+                format!("{:<12} {}", app.name(), resource),
+                format!("{:.0}", r.user.as_secs_f64() / scale),
+                format!("{:.0}", r.sys.as_secs_f64() / scale),
+                format!("{:.0}", r.cpu_total().as_secs_f64() / scale),
+                overhead,
+            ]);
+        }
+        println!(
+            "{} paper: native {paper_native:.0}s, VM +{paper_vm}%, PVFS +{paper_pvfs}%",
+            app.name()
+        );
+    }
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "application / resource",
+                "user(s)",
+                "sys(s)",
+                "user+sys",
+                "overhead"
+            ],
+            &rows,
+            34
+        )
+    );
+    if opts.quick {
+        println!("(quick mode: workloads scaled to 1%; times rescaled for display)");
+    }
+}
+
+/// In quick mode, shrink the workload 100× (overheads are ratios and
+/// survive scaling).
+fn scaled(app: &AppProfile, opts: &Options) -> AppProfile {
+    if !opts.quick {
+        return app.clone();
+    }
+    AppProfile::new(app.name(), app.user_work().mul_f64(0.01))
+        .with_syscalls(app.syscalls() / 100)
+        .with_reads(
+            ByteSize::from_bytes(app.read_bytes().as_u64() / 100),
+            app.io_pattern(),
+        )
+        .with_writes(ByteSize::from_bytes(app.write_bytes().as_u64() / 100))
+        .with_memory_pressure(app.memory_pressure())
+}
+
+fn run_local(app: &AppProfile, mode: ExecMode, model: &VirtCostModel, seed: u64) -> GuestRunReport {
+    let mut disk = DiskModel::new(DiskProfile::ide_2003());
+    let mut storage = LocalDiskStorage::new(&mut disk);
+    run_app(
+        app,
+        mode,
+        model,
+        &mut storage,
+        spec::MACRO_CLOCK_HZ,
+        SimTime::ZERO,
+        &mut SimRng::seed_from(seed),
+    )
+}
+
+/// The paper's PVFS scenario: VM state served by an image server at
+/// the remote site (UF), application data via proxy-cached NFS; the
+/// guest's file I/O flows through the proxy-equipped WAN mount.
+fn run_pvfs(app: &AppProfile, model: &VirtCostModel, seed: u64) -> GuestRunReport {
+    let mut server = NfsServer::new(DiskModel::new(DiskProfile::ide_2003()));
+    let root = server.fs().root();
+    let total_io = app.io_bytes() + ByteSize::from_mib(64);
+    let file = server
+        .fs_mut()
+        .create(root, "vmstate", SimTime::ZERO)
+        .expect("fresh export");
+    // Pre-size the working file so reads hit real data.
+    server
+        .fs_mut()
+        .write(file, total_io.as_u64().max(1) - 1, &[0], SimTime::ZERO)
+        .expect("presize");
+    let mount = Mount::new(
+        Transport::wan(),
+        server,
+        Some(VfsProxy::new(ProxyConfig::default())),
+    );
+    let mut storage = NfsGuestStorage::new(mount, file, model.pvfs_client_per_block, "PVFS");
+    run_app(
+        app,
+        ExecMode::Virtualized,
+        model,
+        &mut storage,
+        spec::MACRO_CLOCK_HZ,
+        SimTime::ZERO,
+        &mut SimRng::seed_from(seed),
+    )
+}

@@ -1,0 +1,115 @@
+//! **Table 2** — VM startup times: mean/std/min/max over 10 samples
+//! of `globusrun` wall-clock time for six scenarios:
+//! {VM-reboot, VM-restore} × {Persistent, Non-persistent DiskFS,
+//! Non-persistent LoopbackNFS}.
+//!
+//! Paper targets (seconds):
+//!
+//! | scenario                     | mean  |
+//! |------------------------------|-------|
+//! | reboot  / Persistent         | 273   |
+//! | reboot  / DiskFS             | 69.2  |
+//! | reboot  / LoopbackNFS        | 74.5  |
+//! | restore / Persistent         | 269   |
+//! | restore / DiskFS             | 12.4  |
+//! | restore / LoopbackNFS        | 29.2  |
+
+use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_core::server::ComputeServer;
+use gridvm_core::startup::{run_startup, StartupConfig, StartupMode, StateAccess};
+use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::stats::OnlineStats;
+use gridvm_vmm::machine::DiskMode;
+
+fn main() {
+    let opts = Options::from_args();
+    banner(
+        "Table 2: VM startup times (globusrun wall clock, seconds)",
+        &opts,
+    );
+    let samples = opts.samples_or(10);
+
+    let scenarios = [
+        (
+            StartupMode::Reboot,
+            DiskMode::Persistent,
+            StateAccess::DiskFs,
+            273.0,
+        ),
+        (
+            StartupMode::Reboot,
+            DiskMode::NonPersistent,
+            StateAccess::DiskFs,
+            69.2,
+        ),
+        (
+            StartupMode::Reboot,
+            DiskMode::NonPersistent,
+            StateAccess::LoopbackNfs,
+            74.5,
+        ),
+        (
+            StartupMode::Restore,
+            DiskMode::Persistent,
+            StateAccess::DiskFs,
+            269.0,
+        ),
+        (
+            StartupMode::Restore,
+            DiskMode::NonPersistent,
+            StateAccess::DiskFs,
+            12.4,
+        ),
+        (
+            StartupMode::Restore,
+            DiskMode::NonPersistent,
+            StateAccess::LoopbackNfs,
+            29.2,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (mode, disk_mode, access, paper_mean) in scenarios {
+        let cfg = StartupConfig::table2(mode, disk_mode, access);
+        let root = SimRng::seed_from(opts.seed).split(&cfg.label());
+        let mut stats = OnlineStats::new();
+        let mut last = None;
+        for i in 0..samples {
+            let mut server = ComputeServer::paper_node("V");
+            let mut rng = root.split(&format!("sample-{i}"));
+            let b = run_startup(&mut server, &cfg, &mut rng);
+            stats.record(b.total_secs());
+            last = Some(b);
+        }
+        rows.push(vec![
+            cfg.label(),
+            format!("{:.1}", stats.mean()),
+            format!("{:.1}", stats.std_dev()),
+            format!("{:.1}", stats.min()),
+            format!("{:.1}", stats.max()),
+            format!("{paper_mean:.1}"),
+        ]);
+        if let Some(b) = last {
+            println!(
+                "{:<44} phases: mw-in {:.1} copy {:.1} setup {:.1} load {:.1} cpu {:.1} mw-out {:.1}",
+                cfg.label(),
+                b.middleware_in.as_secs_f64(),
+                b.image_copy.as_secs_f64(),
+                b.monitor_setup.as_secs_f64(),
+                b.state_load.as_secs_f64(),
+                b.guest_cpu.as_secs_f64(),
+                b.middleware_out.as_secs_f64(),
+            );
+        }
+    }
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &["scenario", "mean", "std", "min", "max", "paper"],
+            &rows,
+            44
+        )
+    );
+    println!("shape checks: restore << reboot (non-persistent); persistent >> all; NFS > DiskFS");
+}

@@ -1,0 +1,145 @@
+//! Shared experiment plumbing: CLI options and table formatting.
+
+use std::fmt::Write as _;
+
+/// Common options every reproduction binary accepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Options {
+    /// Master seed; every random stream derives from it.
+    pub seed: u64,
+    /// Number of measurement samples per scenario.
+    pub samples: usize,
+    /// Quick mode: shrink workloads for smoke runs.
+    pub quick: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: 20030517, // ICDCS 2003's opening day
+            samples: 0,     // 0 = per-experiment default
+            quick: false,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--seed N`, `--samples N` and `--quick` from the
+    /// process arguments, ignoring anything else.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed numeric values —
+    /// these binaries are experiment entry points, so failing loudly
+    /// beats running the wrong experiment.
+    pub fn from_args() -> Self {
+        let mut opts = Options::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    opts.seed = v.parse().expect("--seed value must be a u64");
+                }
+                "--samples" => {
+                    let v = args.next().expect("--samples needs a value");
+                    opts.samples = v.parse().expect("--samples value must be a usize");
+                }
+                "--quick" => opts.quick = true,
+                other => panic!("unknown option {other:?} (known: --seed --samples --quick)"),
+            }
+        }
+        opts
+    }
+
+    /// The sample count to use given an experiment default.
+    pub fn samples_or(&self, default: usize) -> usize {
+        if self.samples > 0 {
+            self.samples
+        } else if self.quick {
+            default.div_ceil(10).max(2)
+        } else {
+            default
+        }
+    }
+}
+
+/// Renders a header + aligned rows, left-aligning the first column
+/// and right-aligning the rest.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>], first_width: usize) -> String {
+    let mut out = String::new();
+    let mut line = format!("{:<width$}", headers[0], width = first_width);
+    for h in &headers[1..] {
+        let _ = write!(line, " {h:>12}");
+    }
+    let _ = writeln!(out, "{line}");
+    let _ = writeln!(out, "{}", "-".repeat(line.len()));
+    for row in rows {
+        let mut line = format!("{:<width$}", row[0], width = first_width);
+        for cell in &row[1..] {
+            let _ = write!(line, " {cell:>12}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// A one-line experiment banner.
+pub fn banner(title: &str, opts: &Options) {
+    println!("=== {title} ===");
+    println!(
+        "seed={} samples={} quick={}",
+        opts.seed,
+        if opts.samples == 0 {
+            "default".to_owned()
+        } else {
+            opts.samples.to_string()
+        },
+        opts.quick
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = Options::default();
+        assert!(o.seed > 0);
+        assert_eq!(o.samples_or(100), 100);
+    }
+
+    #[test]
+    fn quick_mode_shrinks_samples() {
+        let o = Options {
+            quick: true,
+            ..Options::default()
+        };
+        assert_eq!(o.samples_or(100), 10);
+        assert_eq!(o.samples_or(5), 2);
+    }
+
+    #[test]
+    fn explicit_samples_win() {
+        let o = Options {
+            samples: 7,
+            quick: true,
+            ..Options::default()
+        };
+        assert_eq!(o.samples_or(100), 7);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["scenario", "mean", "std"],
+            &[vec!["a".into(), "1.0".into(), "0.1".into()]],
+            20,
+        );
+        assert!(t.contains("scenario"));
+        assert!(t.contains("a"));
+        assert!(t.lines().count() == 3);
+    }
+}

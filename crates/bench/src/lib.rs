@@ -1,0 +1,33 @@
+//! # gridvm-bench
+//!
+//! The reproduction harness: one binary per table/figure of the
+//! paper plus claim checks and ablations. See `DESIGN.md` §4 for the
+//! experiment index; each binary prints the same rows/series the
+//! paper reports.
+//!
+//! Binaries (all accept `--seed N`, `--samples N`, `--quick`):
+//!
+//! * `fig1_micro` — Figure 1: test-task slowdown under background
+//!   load, 12 scenarios.
+//! * `table1_macro` — Table 1: SPECseis/SPECclimate user/sys/total
+//!   and overheads across physical / VM-local / VM-PVFS.
+//! * `table2_startup` — Table 2: VM startup statistics across
+//!   reboot/restore × persistent / DiskFS / LoopbackNFS.
+//! * `claim_pvfs_overhead` — Section 3.1 claim: on-demand PVFS block
+//!   access within ~1% of plain NFS.
+//! * `ablation_proxy_cache` — proxy cache/prefetch on vs off for
+//!   shared-image instantiation.
+//! * `ablation_schedulers` — scheduler families enforcing an owner
+//!   reserve against a greedy grid VM.
+//! * `ablation_overlay` — overlay re-routing vs direct tunnels on a
+//!   degraded path.
+//! * `ablation_vm_assists` — assisted vs baseline VMM cost models.
+//! * `ext_migration` — whole-environment migration phase breakdown.
+//! * `ext_batch_vm` — Table 2 startup modes as batch-throughput cost.
+//! * `ext_rps_eval` — RPS AR prediction vs naive baselines.
+//! * `ext_contention` — concurrent instantiation on one VM host.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;

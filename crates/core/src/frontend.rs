@@ -1,0 +1,243 @@
+//! The middleware front-end and service-provider multiplexing of
+//! Figure 3.
+//!
+//! The figure's second scenario: *"virtual machines V1, V2 are
+//! instantiated on P2 on behalf of a service provider S, and are
+//! multiplexed across users A, B, C and applications provided by S.
+//! The logical user account abstraction decouples access to physical
+//! resources (middleware) from access to virtual resources
+//! (end-users and services)."*
+//!
+//! A [`ServiceProvider`] owns a pool of running service VMs and a
+//! pool of logical accounts; user sessions attach to the
+//! least-loaded VM under a logical account lease, stay sticky while
+//! active, and release both on detach.
+
+use std::collections::HashMap;
+
+use gridvm_gridmw::accounts::{AccountError, AccountPool, LocalAccount};
+use gridvm_simcore::time::SimTime;
+
+/// One service VM in the provider's pool.
+#[derive(Clone, Debug)]
+struct ProviderVm {
+    name: String,
+    sessions: usize,
+}
+
+/// A user's attachment to the provider.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attachment {
+    /// The VM serving this user.
+    pub vm: String,
+    /// The leased logical account inside the provider's domain.
+    pub account: LocalAccount,
+}
+
+/// Errors attaching users.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProviderError {
+    /// Every VM is at its session capacity.
+    NoCapacity,
+    /// The logical-account pool is exhausted.
+    Accounts(AccountError),
+}
+
+impl std::fmt::Display for ProviderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProviderError::NoCapacity => write!(f, "all service VMs are full"),
+            ProviderError::Accounts(e) => write!(f, "logical accounts: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProviderError {}
+
+impl From<AccountError> for ProviderError {
+    fn from(e: AccountError) -> Self {
+        ProviderError::Accounts(e)
+    }
+}
+
+/// A service provider multiplexing users onto a pool of service VMs.
+///
+/// ```
+/// use gridvm_core::frontend::ServiceProvider;
+/// use gridvm_gridmw::accounts::AccountPool;
+/// use gridvm_simcore::time::{SimDuration, SimTime};
+///
+/// let accounts = AccountPool::new(&["svc01", "svc02", "svc03"],
+///                                 SimDuration::from_secs(3600));
+/// let mut provider = ServiceProvider::new("S", &["V1", "V2"], 2, accounts);
+/// let a = provider.attach(SimTime::ZERO, "/CN=A")?;
+/// let b = provider.attach(SimTime::ZERO, "/CN=B")?;
+/// assert_ne!(a.vm, b.vm, "users spread across the pool");
+/// # Ok::<(), gridvm_core::frontend::ProviderError>(())
+/// ```
+#[derive(Debug)]
+pub struct ServiceProvider {
+    name: String,
+    vms: Vec<ProviderVm>,
+    per_vm_capacity: usize,
+    accounts: AccountPool,
+    assignments: HashMap<String, (usize, LocalAccount)>,
+}
+
+impl ServiceProvider {
+    /// Creates a provider with the named service VMs, each accepting
+    /// at most `per_vm_capacity` concurrent user sessions, and a
+    /// pool of logical accounts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty VM list or zero capacity.
+    pub fn new(
+        name: impl Into<String>,
+        vm_names: &[&str],
+        per_vm_capacity: usize,
+        accounts: AccountPool,
+    ) -> Self {
+        assert!(!vm_names.is_empty(), "provider needs at least one VM");
+        assert!(per_vm_capacity > 0, "zero per-VM capacity");
+        ServiceProvider {
+            name: name.into(),
+            vms: vm_names
+                .iter()
+                .map(|n| ProviderVm {
+                    name: (*n).to_owned(),
+                    sessions: 0,
+                })
+                .collect(),
+            per_vm_capacity,
+            accounts,
+            assignments: HashMap::new(),
+        }
+    }
+
+    /// The provider's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total active user sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Sessions on a given VM (None for unknown names).
+    pub fn sessions_on(&self, vm: &str) -> Option<usize> {
+        self.vms.iter().find(|v| v.name == vm).map(|v| v.sessions)
+    }
+
+    /// Attaches a user: sticky if already attached (renewing the
+    /// account lease), otherwise the least-loaded VM with room.
+    ///
+    /// # Errors
+    ///
+    /// [`ProviderError::NoCapacity`] or an exhausted account pool.
+    pub fn attach(&mut self, now: SimTime, identity: &str) -> Result<Attachment, ProviderError> {
+        if let Some((vm_idx, account)) = self.assignments.get(identity) {
+            // Sticky: same VM, renewed lease.
+            let account = account.clone();
+            let vm = self.vms[*vm_idx].name.clone();
+            let _ = self.accounts.acquire(now, identity)?;
+            return Ok(Attachment { vm, account });
+        }
+        let (vm_idx, _) = self
+            .vms
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.sessions < self.per_vm_capacity)
+            .min_by_key(|(i, v)| (v.sessions, *i))
+            .ok_or(ProviderError::NoCapacity)?;
+        let account = self.accounts.acquire(now, identity)?;
+        self.vms[vm_idx].sessions += 1;
+        self.assignments
+            .insert(identity.to_owned(), (vm_idx, account.clone()));
+        Ok(Attachment {
+            vm: self.vms[vm_idx].name.clone(),
+            account,
+        })
+    }
+
+    /// Detaches a user, releasing the VM slot and the account lease.
+    /// Idempotent.
+    pub fn detach(&mut self, identity: &str) {
+        if let Some((vm_idx, _)) = self.assignments.remove(identity) {
+            self.vms[vm_idx].sessions -= 1;
+            self.accounts.release(identity);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridvm_simcore::time::SimDuration;
+
+    fn provider(vms: &[&str], cap: usize, accounts: usize) -> ServiceProvider {
+        let names: Vec<String> = (1..=accounts).map(|i| format!("svc{i:02}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        ServiceProvider::new(
+            "S",
+            vms,
+            cap,
+            AccountPool::new(&refs, SimDuration::from_secs(3600)),
+        )
+    }
+
+    #[test]
+    fn users_spread_least_loaded_first() {
+        let mut p = provider(&["V1", "V2"], 2, 4);
+        let a = p.attach(SimTime::ZERO, "/CN=A").unwrap();
+        let b = p.attach(SimTime::ZERO, "/CN=B").unwrap();
+        let c = p.attach(SimTime::ZERO, "/CN=C").unwrap();
+        assert_ne!(a.vm, b.vm);
+        assert_eq!(p.sessions_on("V1"), Some(2));
+        assert_eq!(p.sessions_on("V2"), Some(1));
+        assert_eq!(p.active_sessions(), 3);
+        // Figure 3's exact scenario: A, B, C across V1, V2.
+        let _ = c;
+    }
+
+    #[test]
+    fn reattachment_is_sticky() {
+        let mut p = provider(&["V1", "V2"], 2, 4);
+        let first = p.attach(SimTime::ZERO, "/CN=A").unwrap();
+        let _ = p.attach(SimTime::ZERO, "/CN=B").unwrap();
+        let again = p.attach(SimTime::from_secs(10), "/CN=A").unwrap();
+        assert_eq!(first, again, "same VM, same logical account");
+        assert_eq!(p.active_sessions(), 2, "no duplicate session");
+    }
+
+    #[test]
+    fn distinct_users_get_distinct_accounts() {
+        let mut p = provider(&["V1"], 4, 4);
+        let a = p.attach(SimTime::ZERO, "/CN=A").unwrap();
+        let b = p.attach(SimTime::ZERO, "/CN=B").unwrap();
+        assert_ne!(a.account, b.account);
+    }
+
+    #[test]
+    fn capacity_limits_are_enforced_and_released() {
+        let mut p = provider(&["V1"], 1, 4);
+        p.attach(SimTime::ZERO, "/CN=A").unwrap();
+        assert_eq!(
+            p.attach(SimTime::ZERO, "/CN=B"),
+            Err(ProviderError::NoCapacity)
+        );
+        p.detach("/CN=A");
+        p.detach("/CN=A"); // idempotent
+        assert!(p.attach(SimTime::ZERO, "/CN=B").is_ok());
+    }
+
+    #[test]
+    fn account_exhaustion_propagates() {
+        let mut p = provider(&["V1", "V2"], 4, 1);
+        p.attach(SimTime::ZERO, "/CN=A").unwrap();
+        let err = p.attach(SimTime::ZERO, "/CN=B").unwrap_err();
+        assert!(matches!(err, ProviderError::Accounts(_)));
+        assert!(err.to_string().contains("logical accounts"));
+    }
+}

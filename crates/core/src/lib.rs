@@ -1,0 +1,47 @@
+//! # gridvm-core
+//!
+//! The paper's primary contribution assembled: grid computing on
+//! classic virtual machines. This crate wires the substrates —
+//! hosts and schedulers, the VMM model, storage, the grid virtual
+//! file system, virtual networking and grid middleware — into the
+//! architecture of Section 4 and the experiments of Section 2.3.
+//!
+//! * [`server`] — the deployable entities: compute servers (VM
+//!   hosts), image servers and data servers, each with its disks,
+//!   gatekeeper and cost models.
+//! * [`startup`] — the Table 2 engine: instantiating a VM by
+//!   **reboot** or **restore**, over a **persistent** (explicitly
+//!   copied) or **non-persistent** (copy-on-write) disk, with state
+//!   on the local file system (**DiskFS**) or through a
+//!   loopback-mounted NFS stack (**LoopbackNFS**), all framed by a
+//!   `globusrun` submission.
+//! * [`nfsdisk`] — the adapter that lets a guest's file I/O flow
+//!   through a grid-virtual-file-system [`Mount`](gridvm_vfs::Mount)
+//!   (Table 1's `VM, PVFS` rows).
+//! * [`session`] — the six-step session life cycle of Figure 3:
+//!   information-service queries, image selection, data sessions,
+//!   VM startup, guest data sessions, application execution.
+//! * [`frontend`] — the service-provider scenario of Figure 3:
+//!   service VMs multiplexed across users through logical user
+//!   accounts.
+//! * [`migration`] — suspending, moving and resuming a whole
+//!   computing environment while its virtual-file-system sessions
+//!   stay live (Section 3.1 "virtual machine migration").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frontend;
+pub mod migration;
+pub mod nfsdisk;
+pub mod server;
+pub mod session;
+pub mod startup;
+
+pub use frontend::ServiceProvider;
+pub use nfsdisk::NfsGuestStorage;
+pub use server::ComputeServer;
+pub use session::{GridSession, SessionReport, SessionRequest};
+pub use startup::{
+    run_startup, run_startup_at, StartupBreakdown, StartupConfig, StartupMode, StateAccess,
+};

@@ -1,0 +1,547 @@
+//! The Table 2 engine: dynamic VM instantiation timing.
+//!
+//! A startup sample is one `globusrun` of a VM start, decomposed as:
+//!
+//! ```text
+//! middleware-in  (GSI auth + gatekeeper dispatch)
+//! [ image copy ]               persistent disks only
+//! monitor setup  (VMM process; lighter for restore)
+//! state load     (boot working-set reads OR memory-image read)
+//! guest CPU      (kernel init; reboot only)
+//! middleware-out (poll rounding + teardown)
+//! ```
+//!
+//! The state-load phase runs against the local file system
+//! (**DiskFS**) or a loopback-mounted NFS stack (**LoopbackNFS**),
+//! matching the paper's four non-persistent variants; persistent
+//! disks pay the explicit copy and then boot out of the warm buffer
+//! cache.
+
+use gridvm_gridmw::gram::JobRequest;
+use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::time::{SimDuration, SimTime};
+use gridvm_simcore::units::ByteSize;
+use gridvm_storage::block::BlockAddr;
+use gridvm_storage::cow::CowOverlay;
+use gridvm_storage::disk::{AccessKind, DiskModel, DiskProfile};
+use gridvm_storage::image::VmImage;
+use gridvm_storage::staging::copy_local;
+use gridvm_vfs::mount::{Mount, Transport};
+use gridvm_vfs::server::NfsServer;
+use gridvm_vmm::boot::{boot_read_runs, BootProfile};
+use gridvm_vmm::machine::{DiskMode, Vm, VmConfig};
+use gridvm_vmm::snapshot::SuspendImage;
+
+use crate::server::ComputeServer;
+
+/// Cold boot vs warm restore (Table 2's two startup modes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StartupMode {
+    /// Boot the guest OS from scratch.
+    Reboot,
+    /// Restore a post-boot memory snapshot.
+    Restore,
+}
+
+impl std::fmt::Display for StartupMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartupMode::Reboot => f.write_str("VM-reboot"),
+            StartupMode::Restore => f.write_str("VM-restore"),
+        }
+    }
+}
+
+/// Where the VM state files live during startup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StateAccess {
+    /// The host's native file system.
+    DiskFs,
+    /// A loopback-mounted NFS partition ("simulating a remote file
+    /// system").
+    LoopbackNfs,
+}
+
+impl std::fmt::Display for StateAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateAccess::DiskFs => f.write_str("DiskFS"),
+            StateAccess::LoopbackNfs => f.write_str("LoopbackNFS"),
+        }
+    }
+}
+
+/// One startup scenario.
+#[derive(Clone, Debug)]
+pub struct StartupConfig {
+    /// Reboot or restore.
+    pub mode: StartupMode,
+    /// Persistent (explicit copy) or non-persistent (COW diff).
+    pub disk_mode: DiskMode,
+    /// DiskFS or LoopbackNFS state access (persistent implies
+    /// DiskFS, as in the paper).
+    pub access: StateAccess,
+    /// The image to instantiate.
+    pub image: VmImage,
+    /// Guest configuration.
+    pub vm: VmConfig,
+    /// Guest boot cost profile.
+    pub boot: BootProfile,
+}
+
+impl StartupConfig {
+    /// The paper's scenario for a given table cell.
+    pub fn table2(mode: StartupMode, disk_mode: DiskMode, access: StateAccess) -> Self {
+        StartupConfig {
+            mode,
+            disk_mode,
+            access,
+            image: VmImage::redhat_guest("rh72"),
+            vm: VmConfig::paper_guest("rh72"),
+            boot: BootProfile::default(),
+        }
+    }
+
+    /// Scenario label as the paper prints it.
+    pub fn label(&self) -> String {
+        match self.disk_mode {
+            DiskMode::Persistent => format!("{} / Persistent", self.mode),
+            DiskMode::NonPersistent => {
+                format!("{} / Non-persistent {}", self.mode, self.access)
+            }
+        }
+    }
+}
+
+/// Per-phase timing of one startup sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StartupBreakdown {
+    /// GSI authentication + gatekeeper dispatch.
+    pub middleware_in: SimDuration,
+    /// Explicit image copy (persistent only; zero otherwise).
+    pub image_copy: SimDuration,
+    /// VMM process/monitor setup.
+    pub monitor_setup: SimDuration,
+    /// Boot working-set reads or memory-image read.
+    pub state_load: SimDuration,
+    /// Guest kernel/init CPU (reboot only; zero for restore).
+    pub guest_cpu: SimDuration,
+    /// Poll rounding + client teardown.
+    pub middleware_out: SimDuration,
+    /// End-to-end `globusrun` wall time.
+    pub total: SimDuration,
+}
+
+impl StartupBreakdown {
+    /// Total seconds, the figure Table 2 tabulates.
+    pub fn total_secs(&self) -> f64 {
+        self.total.as_secs_f64()
+    }
+}
+
+/// Phase-noise multiplier: mechanical and host-load jitter, applied
+/// per phase with phase-appropriate spread.
+fn jitter(rng: &mut SimRng, sigma: f64) -> f64 {
+    (1.0 + rng.normal(0.0, sigma)).max(0.5)
+}
+
+/// Runs one startup sample on a fresh compute server.
+///
+/// The server's disk starts cold (the experiment harness calls
+/// [`ComputeServer::fresh_sample`]); determinism follows from `rng`.
+///
+/// # Panics
+///
+/// Panics if a persistent scenario is combined with LoopbackNFS (the
+/// paper does not define that cell), or if `mode == Restore` but the
+/// image carries no memory snapshot.
+pub fn run_startup(
+    server: &mut ComputeServer,
+    cfg: &StartupConfig,
+    rng: &mut SimRng,
+) -> StartupBreakdown {
+    run_startup_at(server, cfg, rng, SimTime::ZERO)
+}
+
+/// [`run_startup`] submitted at an arbitrary instant — the building
+/// block for concurrency experiments, where several `globusrun`s
+/// contend for one gatekeeper and one disk.
+///
+/// # Panics
+///
+/// As for [`run_startup`].
+pub fn run_startup_at(
+    server: &mut ComputeServer,
+    cfg: &StartupConfig,
+    rng: &mut SimRng,
+    t0: SimTime,
+) -> StartupBreakdown {
+    if cfg.disk_mode == DiskMode::Persistent {
+        assert_eq!(
+            cfg.access,
+            StateAccess::DiskFs,
+            "the paper's persistent mode uses the local file system"
+        );
+    }
+    let mut vm = Vm::new(cfg.vm.clone());
+
+    // --- globusrun in: authentication + dispatch ------------------------
+    let req = JobRequest {
+        executable: "vmware-start".to_owned(),
+        subject: "/O=Grid/CN=experimenter".to_owned(),
+    };
+    let (payload_start, job) = server
+        .gram
+        .submit(t0, &req)
+        .expect("experimenter is in the grid-mapfile");
+    let middleware_in = payload_start.duration_since(t0);
+    vm.begin_staging(payload_start).expect("fresh VM stages");
+
+    let mut t = payload_start;
+
+    // --- persistent: explicit whole-image copy ---------------------------
+    let image_copy = if cfg.disk_mode == DiskMode::Persistent {
+        let size: ByteSize = cfg.image.disk_size.into();
+        let dst = BlockAddr(cfg.image.disk_blocks());
+        let report = copy_local(&mut server.disk, size, dst, t);
+        let d = report.elapsed().mul_f64(jitter(rng, 0.035));
+        t += d;
+        d
+    } else {
+        // Non-persistent: attach a COW overlay; no copy.
+        vm.attach_disk(CowOverlay::new(cfg.image.base_store()));
+        SimDuration::ZERO
+    };
+
+    // --- monitor setup ----------------------------------------------------
+    let monitor_setup = match cfg.mode {
+        StartupMode::Reboot => server.cost_model.vm_create,
+        StartupMode::Restore => server.cost_model.vm_restore_setup,
+    }
+    .mul_f64(jitter(rng, 0.08));
+    t += monitor_setup;
+
+    match cfg.mode {
+        StartupMode::Reboot => vm.begin_boot(t).expect("staged VM boots"),
+        StartupMode::Restore => vm.begin_restore(t).expect("staged VM restores"),
+    }
+
+    // --- state load --------------------------------------------------------
+    let load_started = t;
+    let t_loaded = match (cfg.mode, cfg.access) {
+        (StartupMode::Reboot, StateAccess::DiskFs) => {
+            // Replay the scattered boot working set against the local
+            // disk. Persistent-mode copies have left it warm.
+            let runs = boot_read_runs(&cfg.image, &cfg.boot);
+            let offset = if cfg.disk_mode == DiskMode::Persistent {
+                cfg.image.disk_blocks() // reads hit the copied region
+            } else {
+                0
+            };
+            let mut tt = t;
+            for (start, len) in runs {
+                tt = server
+                    .disk
+                    .access_run(tt, BlockAddr(start.0 + offset), len, AccessKind::Read)
+                    .finish;
+            }
+            tt
+        }
+        (StartupMode::Reboot, StateAccess::LoopbackNfs) => {
+            let mut mount = loopback_state_mount(cfg);
+            let (root_fh, mut tt) = state_file(&mut mount, t, "disk.img");
+            let bs = ByteSize::from(cfg.image.block_size).as_u64();
+            for (start, len) in boot_read_runs(&cfg.image, &cfg.boot) {
+                let (done, r) = mount.read_range(tt, root_fh, start.0 * bs, len * bs);
+                r.expect("image file is readable");
+                tt = done;
+            }
+            tt
+        }
+        (StartupMode::Restore, StateAccess::DiskFs) => {
+            let img = SuspendImage::for_config(&cfg.vm);
+            let blocks = img.blocks(ByteSize::from(cfg.image.block_size));
+            // Each session restores *its own* warm state: the memory
+            // image sits beyond the disk regions, at a per-job offset
+            // so concurrent restores do not alias in the buffer cache.
+            let base = cfg.image.disk_blocks() * 3 + job.0 * (blocks + 1);
+            server
+                .disk
+                .access_run(t, BlockAddr(base), blocks, AccessKind::Read)
+                .finish
+        }
+        (StartupMode::Restore, StateAccess::LoopbackNfs) => {
+            let mut mount = loopback_state_mount(cfg);
+            let (fh, tt) = state_file(&mut mount, t, "memory.std");
+            let img = SuspendImage::for_config(&cfg.vm);
+            let (done, r) = mount.read_range(tt, fh, 0, img.total().as_u64());
+            r.expect("memory image is readable");
+            done
+        }
+    };
+    let state_load = t_loaded.duration_since(load_started).mul_f64(jitter(
+        rng,
+        if cfg.mode == StartupMode::Restore {
+            0.22
+        } else {
+            0.07
+        },
+    ));
+    t = load_started + state_load;
+
+    // --- guest kernel boot CPU ----------------------------------------------
+    let guest_cpu = match cfg.mode {
+        StartupMode::Reboot => cfg.boot.cpu.mul_f64(jitter(rng, 0.05)),
+        StartupMode::Restore => SimDuration::ZERO,
+    };
+    t += guest_cpu;
+    vm.mark_running(t).expect("loaded VM runs");
+
+    // --- globusrun out -------------------------------------------------------
+    server
+        .gram
+        .payload_finished(job, t)
+        .expect("job was submitted");
+    let end = server.gram.globusrun_end(job).expect("payload reported");
+    let middleware_out = end.duration_since(t);
+
+    StartupBreakdown {
+        middleware_in,
+        image_copy,
+        monitor_setup,
+        state_load,
+        guest_cpu,
+        middleware_out,
+        total: end.duration_since(t0),
+    }
+}
+
+/// Builds the loopback NFS mount exporting the VM state files: both
+/// the guest disk image and the memory snapshot as synthetic files
+/// on a cold server disk.
+fn loopback_state_mount(cfg: &StartupConfig) -> Mount {
+    let mut server = NfsServer::new(DiskModel::new(DiskProfile::ide_2003()));
+    let root = server.fs().root();
+    let t0 = SimTime::ZERO;
+    server
+        .fs_mut()
+        .create_synthetic(
+            root,
+            "disk.img",
+            cfg.image.disk_size.into(),
+            cfg.image.content_seed,
+            t0,
+        )
+        .expect("fresh export");
+    let snap = SuspendImage::for_config(&cfg.vm);
+    server
+        .fs_mut()
+        .create_synthetic(
+            root,
+            "memory.std",
+            snap.total(),
+            cfg.image.content_seed ^ 1,
+            t0,
+        )
+        .expect("fresh export");
+    Mount::new(Transport::loopback(), server, None)
+}
+
+/// Looks up a state file on the mount, returning its handle and the
+/// time after the lookup RPC.
+fn state_file(
+    mount: &mut Mount,
+    now: SimTime,
+    name: &str,
+) -> (gridvm_vfs::fs::FileHandle, SimTime) {
+    let root = mount.server().fs().root();
+    let (t, fh) = mount.lookup(now, root, name);
+    (fh.expect("state file was exported"), t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridvm_simcore::stats::OnlineStats;
+
+    fn sample(mode: StartupMode, disk: DiskMode, access: StateAccess, seed: u64) -> f64 {
+        let mut server = ComputeServer::paper_node("n");
+        let cfg = StartupConfig::table2(mode, disk, access);
+        let mut rng = SimRng::seed_from(seed);
+        run_startup(&mut server, &cfg, &mut rng).total_secs()
+    }
+
+    fn stats(mode: StartupMode, disk: DiskMode, access: StateAccess) -> OnlineStats {
+        (0..10)
+            .map(|i| sample(mode, disk, access, 100 + i))
+            .collect()
+    }
+
+    #[test]
+    fn restore_diskfs_is_around_twelve_seconds() {
+        let s = stats(
+            StartupMode::Restore,
+            DiskMode::NonPersistent,
+            StateAccess::DiskFs,
+        );
+        let m = s.mean();
+        assert!(
+            (9.0..17.0).contains(&m),
+            "restore/DiskFS mean {m} (paper: 12.4)"
+        );
+    }
+
+    #[test]
+    fn reboot_diskfs_is_around_seventy_seconds() {
+        let s = stats(
+            StartupMode::Reboot,
+            DiskMode::NonPersistent,
+            StateAccess::DiskFs,
+        );
+        let m = s.mean();
+        assert!(
+            (60.0..80.0).contains(&m),
+            "reboot/DiskFS mean {m} (paper: 69.2)"
+        );
+    }
+
+    #[test]
+    fn loopback_nfs_adds_overhead() {
+        let reboot_fs = stats(
+            StartupMode::Reboot,
+            DiskMode::NonPersistent,
+            StateAccess::DiskFs,
+        );
+        let reboot_nfs = stats(
+            StartupMode::Reboot,
+            DiskMode::NonPersistent,
+            StateAccess::LoopbackNfs,
+        );
+        assert!(
+            reboot_nfs.mean() > reboot_fs.mean() + 2.0,
+            "NFS reboot {} vs DiskFS {}",
+            reboot_nfs.mean(),
+            reboot_fs.mean()
+        );
+        let restore_fs = stats(
+            StartupMode::Restore,
+            DiskMode::NonPersistent,
+            StateAccess::DiskFs,
+        );
+        let restore_nfs = stats(
+            StartupMode::Restore,
+            DiskMode::NonPersistent,
+            StateAccess::LoopbackNfs,
+        );
+        assert!(
+            restore_nfs.mean() > restore_fs.mean() + 5.0,
+            "NFS restore {} vs DiskFS {}",
+            restore_nfs.mean(),
+            restore_fs.mean()
+        );
+    }
+
+    #[test]
+    fn persistent_copies_dominate() {
+        let reboot = sample(
+            StartupMode::Reboot,
+            DiskMode::Persistent,
+            StateAccess::DiskFs,
+            7,
+        );
+        let restore = sample(
+            StartupMode::Restore,
+            DiskMode::Persistent,
+            StateAccess::DiskFs,
+            7,
+        );
+        assert!(reboot > 240.0, "persistent reboot {reboot} (paper: 273)");
+        assert!(restore > 240.0, "persistent restore {restore} (paper: 269)");
+        // After the copy the cache is warm: reboot exceeds restore by
+        // little more than the boot CPU.
+        assert!(
+            (reboot - restore) < 40.0,
+            "persistent reboot {reboot} vs restore {restore}"
+        );
+    }
+
+    #[test]
+    fn restore_is_always_faster_than_reboot() {
+        for access in [StateAccess::DiskFs, StateAccess::LoopbackNfs] {
+            let r = stats(StartupMode::Reboot, DiskMode::NonPersistent, access).mean();
+            let s = stats(StartupMode::Restore, DiskMode::NonPersistent, access).mean();
+            assert!(s < r, "{access}: restore {s} vs reboot {r}");
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let mut server = ComputeServer::paper_node("n");
+        let cfg = StartupConfig::table2(
+            StartupMode::Reboot,
+            DiskMode::NonPersistent,
+            StateAccess::DiskFs,
+        );
+        let mut rng = SimRng::seed_from(1);
+        let b = run_startup(&mut server, &cfg, &mut rng);
+        let parts = b.middleware_in
+            + b.image_copy
+            + b.monitor_setup
+            + b.state_load
+            + b.guest_cpu
+            + b.middleware_out;
+        let diff = parts.as_secs_f64() - b.total.as_secs_f64();
+        assert!(
+            diff.abs() < 0.6,
+            "phases {parts} vs total {} (poll rounding)",
+            b.total
+        );
+        assert_eq!(b.image_copy, SimDuration::ZERO);
+        assert!(b.guest_cpu > SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn samples_vary_but_reproduce_per_seed() {
+        let run = |seed| {
+            let mut server = ComputeServer::paper_node("n");
+            let cfg = StartupConfig::table2(
+                StartupMode::Restore,
+                DiskMode::NonPersistent,
+                StateAccess::DiskFs,
+            );
+            run_startup(&mut server, &cfg, &mut SimRng::seed_from(seed))
+        };
+        assert_eq!(run(1), run(1), "same seed reproduces exactly");
+        // `total` is quantized by globusrun's poll interval, so it may
+        // collide across seeds; the jittered phases must not.
+        assert_ne!(run(1).state_load, run(2).state_load);
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        let cfg = StartupConfig::table2(
+            StartupMode::Reboot,
+            DiskMode::NonPersistent,
+            StateAccess::LoopbackNfs,
+        );
+        assert_eq!(cfg.label(), "VM-reboot / Non-persistent LoopbackNFS");
+        let p = StartupConfig::table2(
+            StartupMode::Restore,
+            DiskMode::Persistent,
+            StateAccess::DiskFs,
+        );
+        assert_eq!(p.label(), "VM-restore / Persistent");
+    }
+
+    #[test]
+    #[should_panic(expected = "persistent mode uses the local file system")]
+    fn persistent_loopback_is_rejected() {
+        let mut server = ComputeServer::paper_node("n");
+        let cfg = StartupConfig::table2(
+            StartupMode::Reboot,
+            DiskMode::Persistent,
+            StateAccess::LoopbackNfs,
+        );
+        let _ = run_startup(&mut server, &cfg, &mut SimRng::seed_from(1));
+    }
+}

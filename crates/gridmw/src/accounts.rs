@@ -1,0 +1,191 @@
+//! Logical user accounts (PUNCH \[20\], Section 3.1): a pool of
+//! local accounts leased to grid identities on demand, decoupling
+//! "access to physical resources (middleware) from access to virtual
+//! resources (end-users and services)".
+//!
+//! VMs make this natural — "dedicated VM guests can be assigned on a
+//! per-user basis, and the user identities within a VM guest are
+//! completely decoupled from the identities of its VM host" — but the
+//! host still needs a local account to run each VMM process under;
+//! that is what this pool manages.
+
+use std::collections::HashMap;
+
+use gridvm_simcore::time::{SimDuration, SimTime};
+
+/// A local (physical) account name on a resource.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocalAccount(pub String);
+
+/// Errors from the account pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AccountError {
+    /// Every local account is leased.
+    PoolExhausted,
+    /// The grid identity holds no lease.
+    NoLease(
+        /// The identity.
+        String,
+    ),
+}
+
+impl std::fmt::Display for AccountError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccountError::PoolExhausted => write!(f, "no free logical accounts"),
+            AccountError::NoLease(id) => write!(f, "no lease held by {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AccountError {}
+
+/// A pool of local accounts leased to grid identities.
+///
+/// ```
+/// use gridvm_gridmw::accounts::AccountPool;
+/// use gridvm_simcore::time::{SimDuration, SimTime};
+///
+/// let mut pool = AccountPool::new(&["grid01", "grid02"], SimDuration::from_secs(3600));
+/// let acct = pool.acquire(SimTime::ZERO, "/CN=alice")?;
+/// assert!(acct.0.starts_with("grid0"));
+/// # Ok::<(), gridvm_gridmw::accounts::AccountError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct AccountPool {
+    accounts: Vec<LocalAccount>,
+    lease_time: SimDuration,
+    /// grid identity -> (account index, expiry)
+    leases: HashMap<String, (usize, SimTime)>,
+}
+
+impl AccountPool {
+    /// Creates a pool over the given local account names.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty name list or zero lease time.
+    pub fn new(names: &[&str], lease_time: SimDuration) -> Self {
+        assert!(!names.is_empty(), "empty account pool");
+        assert!(!lease_time.is_zero(), "zero lease time");
+        AccountPool {
+            accounts: names
+                .iter()
+                .map(|n| LocalAccount((*n).to_owned()))
+                .collect(),
+            lease_time,
+            leases: HashMap::new(),
+        }
+    }
+
+    /// Pool capacity.
+    pub fn capacity(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Leases held (unexpired at `now`).
+    pub fn active(&self, now: SimTime) -> usize {
+        self.leases.values().filter(|(_, e)| *e > now).count()
+    }
+
+    /// Acquires (or renews) the lease for a grid identity.
+    ///
+    /// # Errors
+    ///
+    /// [`AccountError::PoolExhausted`] when all accounts are held.
+    pub fn acquire(&mut self, now: SimTime, identity: &str) -> Result<LocalAccount, AccountError> {
+        if let Some((idx, expiry)) = self.leases.get_mut(identity) {
+            if *expiry > now {
+                *expiry = now + self.lease_time;
+                return Ok(self.accounts[*idx].clone());
+            }
+        }
+        let taken: Vec<usize> = self
+            .leases
+            .values()
+            .filter(|(_, e)| *e > now)
+            .map(|(i, _)| *i)
+            .collect();
+        let free = (0..self.accounts.len()).find(|i| !taken.contains(i));
+        match free {
+            Some(idx) => {
+                self.leases
+                    .insert(identity.to_owned(), (idx, now + self.lease_time));
+                Ok(self.accounts[idx].clone())
+            }
+            None => Err(AccountError::PoolExhausted),
+        }
+    }
+
+    /// The account currently leased to an identity.
+    ///
+    /// # Errors
+    ///
+    /// [`AccountError::NoLease`].
+    pub fn lookup(&self, now: SimTime, identity: &str) -> Result<LocalAccount, AccountError> {
+        match self.leases.get(identity) {
+            Some((idx, expiry)) if *expiry > now => Ok(self.accounts[*idx].clone()),
+            _ => Err(AccountError::NoLease(identity.to_owned())),
+        }
+    }
+
+    /// Releases an identity's lease. Idempotent.
+    pub fn release(&mut self, identity: &str) {
+        self.leases.remove(identity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> AccountPool {
+        AccountPool::new(&["grid01", "grid02"], SimDuration::from_secs(100))
+    }
+
+    #[test]
+    fn identities_map_to_distinct_accounts() {
+        let mut p = pool();
+        let a = p.acquire(SimTime::ZERO, "/CN=alice").unwrap();
+        let b = p.acquire(SimTime::ZERO, "/CN=bob").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.active(SimTime::ZERO), 2);
+    }
+
+    #[test]
+    fn renewal_is_stable() {
+        let mut p = pool();
+        let a1 = p.acquire(SimTime::ZERO, "/CN=alice").unwrap();
+        let a2 = p.acquire(SimTime::from_secs(50), "/CN=alice").unwrap();
+        assert_eq!(a1, a2);
+        // renewal extended the lease past the original expiry
+        assert!(p.lookup(SimTime::from_secs(120), "/CN=alice").is_ok());
+    }
+
+    #[test]
+    fn exhaustion_then_expiry_reclaims() {
+        let mut p = pool();
+        p.acquire(SimTime::ZERO, "/CN=a").unwrap();
+        p.acquire(SimTime::ZERO, "/CN=b").unwrap();
+        assert_eq!(
+            p.acquire(SimTime::ZERO, "/CN=c"),
+            Err(AccountError::PoolExhausted)
+        );
+        assert!(p.acquire(SimTime::from_secs(101), "/CN=c").is_ok());
+    }
+
+    #[test]
+    fn release_frees_the_account() {
+        let mut p = pool();
+        let a = p.acquire(SimTime::ZERO, "/CN=a").unwrap();
+        p.release("/CN=a");
+        p.release("/CN=a"); // idempotent
+        assert!(matches!(
+            p.lookup(SimTime::ZERO, "/CN=a"),
+            Err(AccountError::NoLease(_))
+        ));
+        let b = p.acquire(SimTime::ZERO, "/CN=b").unwrap();
+        let c = p.acquire(SimTime::ZERO, "/CN=c").unwrap();
+        assert!(a == b || a == c, "released account is reusable");
+    }
+}

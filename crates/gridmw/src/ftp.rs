@@ -1,0 +1,131 @@
+//! GridFTP-style explicit transfers: control-channel setup, parallel
+//! streams, and striped throughput — the "explicit transfers (e.g.
+//! GridFTP)" alternative to on-demand virtual-file-system sessions in
+//! step 3 of the architecture.
+
+use gridvm_simcore::server::Pipe;
+use gridvm_simcore::time::{SimDuration, SimTime};
+use gridvm_simcore::units::{Bandwidth, ByteSize};
+
+/// A GridFTP endpoint pair (control + data channels over one path).
+#[derive(Clone, Debug)]
+pub struct GridFtp {
+    /// Control-channel RTT-ish setup cost per session.
+    session_setup: SimDuration,
+    /// The network path.
+    path_latency: SimDuration,
+    path_bandwidth: Bandwidth,
+    /// Parallel TCP streams (GridFTP's signature feature).
+    streams: u32,
+    /// Fraction of path bandwidth one stream achieves (TCP window
+    /// limits on high-RTT paths).
+    single_stream_efficiency: f64,
+    sessions: u64,
+    bytes: ByteSize,
+}
+
+impl GridFtp {
+    /// Creates an endpoint over a path with the given latency and
+    /// bandwidth, using `streams` parallel streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero streams.
+    pub fn new(path_latency: SimDuration, path_bandwidth: Bandwidth, streams: u32) -> Self {
+        assert!(streams > 0, "GridFTP needs at least one stream");
+        GridFtp {
+            session_setup: SimDuration::from_millis(900),
+            path_latency,
+            path_bandwidth,
+            streams,
+            single_stream_efficiency: 0.35,
+            sessions: 0,
+            bytes: ByteSize::ZERO,
+        }
+    }
+
+    /// Sessions opened so far.
+    pub fn sessions(&self) -> u64 {
+        self.sessions
+    }
+
+    /// Bytes moved so far.
+    pub fn bytes_moved(&self) -> ByteSize {
+        self.bytes
+    }
+
+    /// Effective throughput with the configured stream count: each
+    /// stream achieves a window-limited share; streams sum up to the
+    /// path bandwidth at most.
+    pub fn effective_bandwidth(&self) -> Bandwidth {
+        let per_stream = self.path_bandwidth.as_bytes_per_sec() * self.single_stream_efficiency;
+        let total =
+            (per_stream * f64::from(self.streams)).min(self.path_bandwidth.as_bytes_per_sec());
+        Bandwidth::from_bytes_per_sec(total)
+    }
+
+    /// Transfers `size` bytes starting at `now`; returns the
+    /// completion instant.
+    pub fn transfer(&mut self, now: SimTime, size: ByteSize) -> SimTime {
+        self.sessions += 1;
+        self.bytes += size;
+        let mut pipe = Pipe::new(self.path_latency, self.effective_bandwidth());
+        let g = pipe.send(now + self.session_setup, size);
+        g.finish
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wan(streams: u32) -> GridFtp {
+        GridFtp::new(
+            SimDuration::from_millis(17),
+            Bandwidth::from_mbit_per_sec(20.0),
+            streams,
+        )
+    }
+
+    #[test]
+    fn parallel_streams_beat_a_single_stream() {
+        let mut one = wan(1);
+        let mut four = wan(4);
+        let size = ByteSize::from_mib(64);
+        let t1 = one.transfer(SimTime::ZERO, size);
+        let t4 = four.transfer(SimTime::ZERO, size);
+        assert!(
+            t4.as_secs_f64() < t1.as_secs_f64() / 2.0,
+            "4 streams {t4} vs 1 stream {t1}"
+        );
+    }
+
+    #[test]
+    fn streams_cannot_exceed_path_bandwidth() {
+        let many = wan(64);
+        let eff = many.effective_bandwidth().as_bytes_per_sec();
+        let path = Bandwidth::from_mbit_per_sec(20.0).as_bytes_per_sec();
+        assert!((eff - path).abs() < 1.0, "capped at path bandwidth");
+    }
+
+    #[test]
+    fn session_setup_is_paid_per_transfer() {
+        let mut g = wan(4);
+        let t = g.transfer(SimTime::ZERO, ByteSize::from_bytes(1));
+        assert!(
+            t.as_secs_f64() > 0.9,
+            "setup dominates a tiny transfer: {t}"
+        );
+        assert_eq!(g.sessions(), 1);
+        assert_eq!(g.bytes_moved(), ByteSize::from_bytes(1));
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut g = wan(2);
+        g.transfer(SimTime::ZERO, ByteSize::from_mib(1));
+        g.transfer(SimTime::ZERO, ByteSize::from_mib(2));
+        assert_eq!(g.sessions(), 2);
+        assert_eq!(g.bytes_moved(), ByteSize::from_mib(3));
+    }
+}

@@ -1,0 +1,143 @@
+//! Task specifications and outcomes.
+
+use gridvm_sched::duty::DutyCycle;
+use gridvm_sched::TaskParams;
+use gridvm_simcore::time::{SimDuration, SimTime};
+use gridvm_simcore::units::CpuWork;
+
+/// Specification of one finite task submitted to a [`crate::HostSim`].
+///
+/// A plain process has `work_multiplier == 1.0` and zero
+/// `switch_overhead`; the VMM layer models a virtualized task by
+/// raising both (direct execution costs ≈ nothing, but world switches
+/// and trapped instructions cost extra time whenever the task is
+/// rescheduled).
+#[derive(Clone, Copy, Debug)]
+pub struct TaskSpec {
+    /// Total useful CPU work the task must retire.
+    pub work: CpuWork,
+    /// Scheduler parameters (weight / reservation).
+    pub params: TaskParams,
+    /// Multiplier (>= 1) on the time needed to retire work — the
+    /// virtualization slowdown of user-mode code.
+    pub work_multiplier: f64,
+    /// Extra CPU time burned every time the task is switched onto a
+    /// core after not running in the previous quantum (context-switch
+    /// plus, for VMs, world-switch and trap-and-emulate costs).
+    pub switch_overhead: SimDuration,
+    /// Optional SIGSTOP/SIGCONT duty-cycle mask.
+    pub duty: Option<DutyCycle>,
+}
+
+impl TaskSpec {
+    /// A plain compute task of the given work with default scheduler
+    /// parameters.
+    pub fn compute(work: CpuWork) -> Self {
+        TaskSpec {
+            work,
+            params: TaskParams::default(),
+            work_multiplier: 1.0,
+            switch_overhead: SimDuration::ZERO,
+            duty: None,
+        }
+    }
+
+    /// Sets the scheduler parameters.
+    pub fn with_params(mut self, params: TaskParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the work multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 1.0` (virtualization never speeds work up).
+    pub fn with_work_multiplier(mut self, m: f64) -> Self {
+        assert!(m >= 1.0, "work multiplier {m} < 1");
+        self.work_multiplier = m;
+        self
+    }
+
+    /// Sets the per-switch overhead.
+    pub fn with_switch_overhead(mut self, d: SimDuration) -> Self {
+        self.switch_overhead = d;
+        self
+    }
+
+    /// Applies a duty-cycle mask.
+    pub fn with_duty(mut self, duty: DutyCycle) -> Self {
+        self.duty = Some(duty);
+        self
+    }
+}
+
+/// What happened to one finite task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskOutcome {
+    /// When the task was submitted.
+    pub submitted_at: SimTime,
+    /// When it completed.
+    pub completed_at: SimTime,
+    /// CPU time spent retiring useful work (inflated by the work
+    /// multiplier — this is what `time(1)` would report as user time).
+    pub cpu_time: SimDuration,
+    /// CPU time burned in switch overheads (the system-time analogue).
+    pub overhead_time: SimDuration,
+    /// Number of times the task was switched onto a core.
+    pub switches: u64,
+}
+
+impl TaskOutcome {
+    /// Wall-clock duration from submission to completion.
+    pub fn wall_time(&self) -> SimDuration {
+        self.completed_at.duration_since(self.submitted_at)
+    }
+
+    /// Wall time divided by a baseline — the paper's *slowdown*
+    /// metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero baseline.
+    pub fn slowdown_vs(&self, baseline: SimDuration) -> f64 {
+        assert!(!baseline.is_zero(), "slowdown_vs: zero baseline");
+        self.wall_time().as_secs_f64() / baseline.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let spec = TaskSpec::compute(CpuWork::from_cycles(1000))
+            .with_work_multiplier(1.05)
+            .with_switch_overhead(SimDuration::from_micros(50))
+            .with_params(TaskParams::with_weight(7));
+        assert_eq!(spec.work.as_cycles(), 1000);
+        assert_eq!(spec.params.weight, 7);
+        assert!((spec.work_multiplier - 1.05).abs() < 1e-12);
+        assert_eq!(spec.switch_overhead, SimDuration::from_micros(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "< 1")]
+    fn speedup_multiplier_rejected() {
+        let _ = TaskSpec::compute(CpuWork::from_cycles(1)).with_work_multiplier(0.9);
+    }
+
+    #[test]
+    fn outcome_derives_wall_and_slowdown() {
+        let o = TaskOutcome {
+            submitted_at: SimTime::from_secs(10),
+            completed_at: SimTime::from_secs(16),
+            cpu_time: SimDuration::from_secs(3),
+            overhead_time: SimDuration::from_millis(10),
+            switches: 4,
+        };
+        assert_eq!(o.wall_time(), SimDuration::from_secs(6));
+        assert!((o.slowdown_vs(SimDuration::from_secs(3)) - 2.0).abs() < 1e-12);
+    }
+}

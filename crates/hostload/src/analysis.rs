@@ -1,0 +1,168 @@
+//! Time-series analysis used to validate generated load: sample
+//! autocorrelation and rescaled-range (R/S) Hurst estimation.
+
+/// Sample autocorrelation of `xs` at the given `lag`.
+///
+/// Returns 0.0 for degenerate inputs (constant series, or series
+/// shorter than `lag + 2`).
+///
+/// ```
+/// use gridvm_hostload::analysis::autocorrelation;
+/// let ramp: Vec<f64> = (0..100).map(f64::from).collect();
+/// assert!(autocorrelation(&ramp, 1) > 0.9);
+/// ```
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    if xs.len() < lag + 2 {
+        return 0.0;
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = (0..n - lag)
+        .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+        .sum();
+    cov / var
+}
+
+/// Rescaled-range (R/S) estimate of the Hurst exponent.
+///
+/// Splits the series into windows of doubling size, computes the mean
+/// log(R/S) per size, and regresses against log(size). An estimate of
+/// 0.5 indicates no long-range dependence; host-load traces typically
+/// show 0.7–0.95.
+///
+/// Returns 0.5 for series too short (< 32 samples) or degenerate
+/// (constant) to estimate.
+pub fn hurst_rs(xs: &[f64]) -> f64 {
+    if xs.len() < 32 {
+        return 0.5;
+    }
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    let mut window = 8usize;
+    while window <= xs.len() / 2 {
+        let mut ratios = Vec::new();
+        for chunk in xs.chunks_exact(window) {
+            if let Some(rs) = rescaled_range(chunk) {
+                ratios.push(rs);
+            }
+        }
+        if !ratios.is_empty() {
+            let mean_rs = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            if mean_rs > 0.0 {
+                points.push(((window as f64).ln(), mean_rs.ln()));
+            }
+        }
+        window *= 2;
+    }
+    if points.len() < 2 {
+        return 0.5;
+    }
+    linear_slope(&points).clamp(0.0, 1.0)
+}
+
+/// R/S statistic of one window; `None` when the window is constant.
+fn rescaled_range(xs: &[f64]) -> Option<f64> {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let std = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n).sqrt();
+    if std == 0.0 {
+        return None;
+    }
+    let mut cum = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for x in xs {
+        cum += x - mean;
+        min = min.min(cum);
+        max = max.max(cum);
+    }
+    Some((max - min) / std)
+}
+
+/// Ordinary-least-squares slope through `(x, y)` points.
+///
+/// # Panics
+///
+/// Panics with fewer than two points (callers guard this).
+fn linear_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "linear_slope needs >= 2 points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (n * sxy - sx * sy) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridvm_simcore::rng::SimRng;
+
+    #[test]
+    fn white_noise_has_no_autocorrelation() {
+        let mut rng = SimRng::seed_from(1);
+        let xs: Vec<f64> = (0..10_000).map(|_| rng.standard_normal()).collect();
+        let a = autocorrelation(&xs, 1);
+        assert!(a.abs() < 0.05, "white noise acf {a}");
+    }
+
+    #[test]
+    fn ar1_has_expected_autocorrelation() {
+        let mut rng = SimRng::seed_from(2);
+        let phi = 0.9;
+        let mut xs = vec![0.0f64];
+        for _ in 0..20_000 {
+            let prev = *xs.last().expect("non-empty");
+            xs.push(phi * prev + rng.standard_normal());
+        }
+        let a1 = autocorrelation(&xs, 1);
+        assert!((a1 - phi).abs() < 0.03, "lag-1 acf {a1} vs phi {phi}");
+        let a5 = autocorrelation(&xs, 5);
+        assert!((a5 - phi.powi(5)).abs() < 0.05, "lag-5 acf {a5}");
+    }
+
+    #[test]
+    fn degenerate_series_are_safe() {
+        assert_eq!(autocorrelation(&[], 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0, 1.0, 1.0, 1.0], 1), 0.0);
+        assert_eq!(hurst_rs(&[1.0; 10]), 0.5);
+        assert_eq!(hurst_rs(&[2.0; 1000]), 0.5, "constant series");
+    }
+
+    #[test]
+    fn white_noise_hurst_is_near_half() {
+        let mut rng = SimRng::seed_from(3);
+        let xs: Vec<f64> = (0..8_192).map(|_| rng.standard_normal()).collect();
+        let h = hurst_rs(&xs);
+        assert!((0.4..0.65).contains(&h), "white-noise Hurst {h}");
+    }
+
+    #[test]
+    fn trending_series_hurst_is_high() {
+        // A random walk (integrated noise) is strongly persistent.
+        let mut rng = SimRng::seed_from(4);
+        let mut acc = 0.0;
+        let xs: Vec<f64> = (0..8_192)
+            .map(|_| {
+                acc += rng.standard_normal();
+                acc
+            })
+            .collect();
+        let h = hurst_rs(&xs);
+        assert!(h > 0.8, "random-walk Hurst {h}");
+    }
+
+    #[test]
+    fn slope_recovers_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        assert!((linear_slope(&pts) - 3.0).abs() < 1e-12);
+    }
+}

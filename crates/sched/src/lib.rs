@@ -1,0 +1,51 @@
+//! # gridvm-sched
+//!
+//! Host CPU schedulers and the owner-constraint language of Section
+//! 3.2 of the paper ("Resource perspective").
+//!
+//! The paper's proposal: a resource owner expresses constraints in a
+//! specialized language; a toolchain compiles them into a schedule for
+//! the virtual machines on the host, enforced by one of several
+//! scheduler families the paper cites:
+//!
+//! * [`lottery`] — probabilistic proportional share (Waldspurger &
+//!   Weihl, OSDI '94) \[34\].
+//! * [`stride`] — deterministic proportional share (the deterministic
+//!   counterpart of lottery scheduling).
+//! * [`wfq`] — weighted fair queueing by virtual finish times (Demers
+//!   et al.) \[8\].
+//! * [`edf`] — periodic real-time reservations with earliest-deadline-
+//!   first dispatch and admission control (RT kernel extensions
+//!   \[35\], resource kernels \[26\]).
+//! * [`timeshare`] — a plain weighted round-robin standing in for the
+//!   stock Linux time-sharing scheduler.
+//! * [`duty`] — coarse-grain duty-cycle modulation, the paper's
+//!   "modulate the priority of virtual machine processes ... using
+//!   SIGSTOP/SIGCONT signal delivery".
+//! * [`constraint`] — the constraint language: parse owner/VM
+//!   requirements, admission-check them, and compile to a concrete
+//!   scheduler configuration.
+//!
+//! All schedulers implement the quantum-driven [`Scheduler`] trait
+//! consumed by `gridvm-host`'s multicore host simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod duty;
+pub mod edf;
+pub mod lottery;
+pub mod scheduler;
+pub mod stride;
+pub mod timeshare;
+pub mod wfq;
+
+pub use constraint::{compile, CompiledPolicy, PolicyError};
+pub use duty::DutyCycle;
+pub use edf::EdfScheduler;
+pub use lottery::LotteryScheduler;
+pub use scheduler::{Scheduler, SchedulerKind, TaskId, TaskParams};
+pub use stride::StrideScheduler;
+pub use timeshare::TimeShareScheduler;
+pub use wfq::WfqScheduler;

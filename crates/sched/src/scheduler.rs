@@ -1,0 +1,222 @@
+//! The quantum-driven scheduler interface shared by all policies.
+//!
+//! The host simulator calls [`Scheduler::select`] once per quantum
+//! with the current runnable set; the scheduler returns at most
+//! `cores` distinct tasks to run. After the quantum the host reports
+//! actual consumption through [`Scheduler::charge`] so stateful
+//! policies (stride passes, WFQ virtual times, EDF budgets) stay
+//! accurate even when a task finishes mid-quantum.
+
+use std::fmt;
+
+use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::time::{SimDuration, SimTime};
+
+/// Identifies a schedulable task (a process or a VMM process) on one
+/// host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// A periodic CPU reservation: `slice` of CPU every `period`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reservation {
+    /// Replenishment period.
+    pub period: SimDuration,
+    /// CPU granted per period.
+    pub slice: SimDuration,
+}
+
+impl Reservation {
+    /// Fraction of one CPU this reservation consumes.
+    pub fn utilization(&self) -> f64 {
+        self.slice.as_secs_f64() / self.period.as_secs_f64()
+    }
+}
+
+/// Scheduler-visible parameters of a task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskParams {
+    /// Proportional-share weight (tickets for lottery, weight for
+    /// stride/WFQ/round-robin). Must be at least 1.
+    pub weight: u32,
+    /// Optional real-time reservation (used by [`crate::edf`]).
+    pub reservation: Option<Reservation>,
+}
+
+impl Default for TaskParams {
+    fn default() -> Self {
+        TaskParams {
+            weight: 100,
+            reservation: None,
+        }
+    }
+}
+
+impl TaskParams {
+    /// Parameters with the given proportional-share weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero.
+    pub fn with_weight(weight: u32) -> Self {
+        assert!(weight > 0, "task weight must be positive");
+        TaskParams {
+            weight,
+            reservation: None,
+        }
+    }
+
+    /// Parameters with a real-time reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds the period or either is zero.
+    pub fn with_reservation(period: SimDuration, slice: SimDuration) -> Self {
+        assert!(!period.is_zero() && !slice.is_zero(), "zero reservation");
+        assert!(slice <= period, "reservation slice exceeds period");
+        TaskParams {
+            weight: 100,
+            reservation: Some(Reservation { period, slice }),
+        }
+    }
+}
+
+/// A quantum-driven CPU scheduling policy.
+///
+/// Implementations must be deterministic given the same call sequence
+/// and (for randomized policies) the same [`SimRng`] stream.
+pub trait Scheduler {
+    /// Registers a task. Called before the task ever appears in a
+    /// runnable set.
+    fn add_task(&mut self, id: TaskId, params: TaskParams);
+
+    /// Deregisters a finished or departed task.
+    fn remove_task(&mut self, id: TaskId);
+
+    /// Chooses at most `cores` distinct tasks from `runnable` to run
+    /// for the quantum beginning at `now`.
+    ///
+    /// `runnable` is ordered by task id (the host guarantees this), so
+    /// policies that iterate produce deterministic results.
+    fn select(
+        &mut self,
+        runnable: &[TaskId],
+        cores: usize,
+        now: SimTime,
+        quantum: SimDuration,
+        rng: &mut SimRng,
+    ) -> Vec<TaskId>;
+
+    /// Reports that `id` actually consumed `used` CPU during the last
+    /// quantum (may be less than the quantum when the task finished).
+    fn charge(&mut self, id: TaskId, used: SimDuration);
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The built-in scheduler families, for configuration surfaces
+/// (constraint compiler, benches) that choose one by tag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Weighted round-robin time sharing (Linux-like stand-in).
+    #[default]
+    TimeShare,
+    /// Lottery scheduling.
+    Lottery,
+    /// Stride scheduling.
+    Stride,
+    /// Weighted fair queueing.
+    Wfq,
+    /// EDF with periodic reservations.
+    Edf,
+}
+
+impl SchedulerKind {
+    /// All kinds, in presentation order.
+    pub const ALL: [SchedulerKind; 5] = [
+        SchedulerKind::TimeShare,
+        SchedulerKind::Lottery,
+        SchedulerKind::Stride,
+        SchedulerKind::Wfq,
+        SchedulerKind::Edf,
+    ];
+
+    /// Instantiates the scheduler this tag names.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::TimeShare => Box::new(crate::timeshare::TimeShareScheduler::new()),
+            SchedulerKind::Lottery => Box::new(crate::lottery::LotteryScheduler::new()),
+            SchedulerKind::Stride => Box::new(crate::stride::StrideScheduler::new()),
+            SchedulerKind::Wfq => Box::new(crate::wfq::WfqScheduler::new()),
+            SchedulerKind::Edf => Box::new(crate::edf::EdfScheduler::new()),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::TimeShare => "timeshare",
+            SchedulerKind::Lottery => "lottery",
+            SchedulerKind::Stride => "stride",
+            SchedulerKind::Wfq => "wfq",
+            SchedulerKind::Edf => "edf",
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservation_utilization() {
+        let r = Reservation {
+            period: SimDuration::from_millis(100),
+            slice: SimDuration::from_millis(25),
+        };
+        assert!((r.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn params_builders_validate() {
+        let p = TaskParams::with_weight(5);
+        assert_eq!(p.weight, 5);
+        assert!(p.reservation.is_none());
+        let r = TaskParams::with_reservation(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(10),
+        );
+        assert!(r.reservation.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice exceeds period")]
+    fn oversized_slice_panics() {
+        let _ = TaskParams::with_reservation(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(11),
+        );
+    }
+
+    #[test]
+    fn every_kind_builds_and_labels() {
+        for kind in SchedulerKind::ALL {
+            let s = kind.build();
+            assert_eq!(s.name(), kind.label());
+            assert_eq!(kind.to_string(), kind.label());
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The discrete-event executor.
+//!
+//! An [`Engine<W>`] advances a virtual clock by repeatedly popping the
+//! earliest pending event and invoking its closure with exclusive
+//! access to both the caller's world state `W` and the engine itself
+//! (so handlers can schedule follow-up events). Determinism follows
+//! from the queue's `(time, sequence)` total order and from all
+//! randomness flowing through [`crate::rng::SimRng`].
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// An event handler: runs at its scheduled instant with the world and
+/// the engine.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+/// A discrete-event simulation executor over a world type `W`.
+///
+/// See the [crate-level example](crate) for typical use.
+pub struct Engine<W> {
+    clock: SimTime,
+    queue: EventQueue<EventFn<W>>,
+    executed: u64,
+    horizon: Option<SimTime>,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("clock", &self.clock)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            clock: SimTime::ZERO,
+            queue: EventQueue::new(),
+            executed: 0,
+            horizon: None,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` to run at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current clock: the past is
+    /// immutable in a discrete-event simulation, so this is always a
+    /// caller bug.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        assert!(
+            at >= self.clock,
+            "schedule_at: {at} is before current time {}",
+            self.clock
+        );
+        self.queue.push(at, Box::new(f))
+    }
+
+    /// Schedules `f` to run `delay` after the current instant.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.queue.push(self.clock + delay, Box::new(f))
+    }
+
+    /// Schedules `f` to run at the current instant, after all events
+    /// already scheduled for this instant.
+    pub fn schedule_now<F>(&mut self, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.queue.push(self.clock, Box::new(f))
+    }
+
+    /// Cancels a pending event. Returns `true` if it had not yet run.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Executes a single event, if any remains (and none lies beyond
+    /// the horizon set by [`run_until`](Engine::run_until)). Returns
+    /// `true` if an event ran.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        let next = match self.queue.peek_time() {
+            Some(t) => t,
+            None => return false,
+        };
+        if let Some(h) = self.horizon {
+            if next > h {
+                return false;
+            }
+        }
+        let (time, _, f) = self.queue.pop().expect("peeked event vanished");
+        debug_assert!(time >= self.clock, "event queue produced the past");
+        self.clock = time;
+        self.executed += 1;
+        f(world, self);
+        true
+    }
+
+    /// Runs until no events remain.
+    pub fn run(&mut self, world: &mut W) {
+        self.horizon = None;
+        while self.step(world) {}
+    }
+
+    /// Runs until the queue is empty or the next event lies strictly
+    /// after `deadline`; then sets the clock to `deadline` if it has
+    /// not yet reached it. Events exactly at `deadline` run.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
+        self.horizon = Some(deadline);
+        while self.step(world) {}
+        self.horizon = None;
+        if self.clock < deadline {
+            self.clock = deadline;
+        }
+    }
+
+    /// Runs at most `max_events` events; returns how many ran.
+    pub fn run_steps(&mut self, world: &mut W, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step(world) {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct W {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut en: Engine<W> = Engine::new();
+        let mut w = W::default();
+        en.schedule_at(secs(2), |w: &mut W, en| {
+            w.log.push((en.now().as_nanos(), "b"))
+        });
+        en.schedule_at(secs(1), |w: &mut W, en| {
+            w.log.push((en.now().as_nanos(), "a"))
+        });
+        en.run(&mut w);
+        assert_eq!(
+            w.log,
+            vec![(secs(1).as_nanos(), "a"), (secs(2).as_nanos(), "b")]
+        );
+        assert_eq!(en.executed(), 2);
+    }
+
+    #[test]
+    fn handlers_can_chain() {
+        let mut en: Engine<W> = Engine::new();
+        let mut w = W::default();
+        en.schedule_in(SimDuration::from_secs(1), |w: &mut W, en| {
+            w.log.push((en.now().as_nanos(), "first"));
+            en.schedule_in(SimDuration::from_secs(1), |w: &mut W, en| {
+                w.log.push((en.now().as_nanos(), "second"));
+            });
+        });
+        en.run(&mut w);
+        assert_eq!(en.now(), secs(2));
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_current_instant_events() {
+        let mut en: Engine<W> = Engine::new();
+        let mut w = W::default();
+        en.schedule_at(secs(1), |w: &mut W, en| {
+            w.log.push((0, "outer"));
+            en.schedule_now(|w: &mut W, _| w.log.push((0, "inner")));
+        });
+        en.schedule_at(secs(1), |w: &mut W, _| w.log.push((0, "peer")));
+        en.run(&mut w);
+        let names: Vec<&str> = w.log.iter().map(|(_, n)| *n).collect();
+        assert_eq!(names, vec!["outer", "peer", "inner"]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut en: Engine<W> = Engine::new();
+        let mut w = W::default();
+        en.schedule_at(secs(1), |w: &mut W, _| w.log.push((1, "in")));
+        en.schedule_at(secs(5), |w: &mut W, _| w.log.push((5, "out")));
+        en.run_until(&mut w, secs(3));
+        assert_eq!(w.log.len(), 1);
+        assert_eq!(en.now(), secs(3), "clock advances to deadline");
+        assert_eq!(en.pending(), 1);
+        en.run(&mut w);
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn run_until_includes_deadline_events() {
+        let mut en: Engine<W> = Engine::new();
+        let mut w = W::default();
+        en.schedule_at(secs(3), |w: &mut W, _| w.log.push((3, "at")));
+        en.run_until(&mut w, secs(3));
+        assert_eq!(w.log.len(), 1);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut en: Engine<W> = Engine::new();
+        let mut w = W::default();
+        let id = en.schedule_at(secs(1), |w: &mut W, _| w.log.push((1, "no")));
+        assert!(en.cancel(id));
+        en.run(&mut w);
+        assert!(w.log.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut en: Engine<W> = Engine::new();
+        let mut w = W::default();
+        en.schedule_at(secs(5), |_, en| {
+            en.schedule_at(secs(1), |_, _| {});
+        });
+        en.run(&mut w);
+    }
+
+    #[test]
+    fn run_steps_bounds_execution() {
+        let mut en: Engine<W> = Engine::new();
+        let mut w = W::default();
+        for i in 0..10 {
+            en.schedule_at(secs(i), |w: &mut W, _| w.log.push((0, "x")));
+        }
+        assert_eq!(en.run_steps(&mut w, 3), 3);
+        assert_eq!(w.log.len(), 3);
+        assert_eq!(en.pending(), 7);
+    }
+}

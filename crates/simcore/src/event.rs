@@ -1,0 +1,281 @@
+//! The pending-event set: a priority queue ordered by `(time,
+//! sequence)` with O(log n) insert/pop and support for cancellation.
+//!
+//! Sequence numbers make same-time ordering deterministic: two events
+//! scheduled for the same instant fire in the order they were
+//! scheduled, regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Identifies a scheduled event, for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event#{}", self.0)
+    }
+}
+
+pub(crate) struct Scheduled<E> {
+    pub time: SimTime,
+    pub id: EventId,
+    pub payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first,
+        // then lowest sequence number.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// A cancellable min-priority queue of timestamped payloads.
+///
+/// This is the storage layer under [`crate::engine::Engine`]; it is
+/// public so substrates that run their own micro-simulations (e.g. the
+/// host CPU scheduler) can reuse it.
+///
+/// ```
+/// use gridvm_simcore::event::EventQueue;
+/// use gridvm_simcore::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// let a = q.push(SimTime::from_secs(2), "late");
+/// let _b = q.push(SimTime::from_secs(1), "early");
+/// q.cancel(a);
+/// let (t, _, what) = q.pop().unwrap();
+/// assert_eq!((t, what), (SimTime::from_secs(1), "early"));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("cancelled", &self.cancelled.len())
+            .finish()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`, returning a handle for
+    /// cancellation.
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Scheduled { time, id, payload });
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending. Cancelling an
+    /// already-fired or already-cancelled event returns `false` and is
+    /// harmless.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        // Lazy deletion: remember the id, skip it when popped.
+        self.cancelled.insert(id)
+    }
+
+    /// Removes and returns the earliest live event as
+    /// `(time, id, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            return Some((ev.time, ev.id, ev.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event, if any, without
+    /// removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(ev) = self.heap.peek() {
+            if self.cancelled.contains(&ev.id) {
+                let dead = self.heap.pop().expect("peeked event vanished");
+                self.cancelled.remove(&dead.id);
+                continue;
+            }
+            return Some(ev.time);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3), 'c');
+        q.push(t(1), 'a');
+        q.push(t(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn same_time_pops_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().2, "b");
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop().unwrap().2, "b");
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10).map(|i| q.push(t(i), i)).collect();
+        for id in &ids[..4] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.len(), 6);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping must always yield a non-decreasing time sequence,
+        /// with schedule order breaking ties, for any interleaving of
+        /// pushes and cancellations.
+        #[test]
+        fn pop_order_is_total(ops in proptest::collection::vec((0u64..1000, proptest::bool::weighted(0.2)), 1..200)) {
+            let mut q = EventQueue::new();
+            let mut live = Vec::new();
+            for (time, cancel_one) in ops {
+                let id = q.push(SimTime::from_nanos(time), time);
+                live.push((time, id));
+                if cancel_one && live.len() > 1 {
+                    let (_, victim) = live.remove(live.len() / 2);
+                    q.cancel(victim);
+                }
+            }
+            let mut expected: Vec<(u64, EventId)> = live;
+            expected.sort_by_key(|(t, id)| (*t, *id));
+            let mut got = Vec::new();
+            while let Some((t, id, _)) = q.pop() {
+                got.push((t.as_nanos(), id));
+            }
+            prop_assert_eq!(got, expected);
+        }
+
+        /// `len` equals the number of pops remaining.
+        #[test]
+        fn len_matches_pop_count(times in proptest::collection::vec(0u64..100, 0..50)) {
+            let mut q = EventQueue::new();
+            for t in &times {
+                q.push(SimTime::from_nanos(*t), ());
+            }
+            prop_assert_eq!(q.len(), times.len());
+            let mut popped = 0;
+            while q.pop().is_some() { popped += 1; }
+            prop_assert_eq!(popped, times.len());
+        }
+    }
+}

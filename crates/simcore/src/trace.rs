@@ -1,0 +1,196 @@
+//! Lightweight category-tagged trace recorder.
+//!
+//! Components record `(time, category, message)` triples; experiment
+//! harnesses and tests filter by category to assert on causal
+//! sequences (e.g. "the VM image blocks were fetched before the guest
+//! booted"). The recorder is bounded so long simulations cannot
+//! exhaust memory.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A single trace entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Component-chosen category tag (e.g. `"vmm"`, `"vfs"`).
+    pub category: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.time, self.category, self.message)
+    }
+}
+
+/// A bounded in-memory trace log.
+///
+/// ```
+/// use gridvm_simcore::trace::TraceLog;
+/// use gridvm_simcore::time::SimTime;
+///
+/// let mut log = TraceLog::with_capacity(100);
+/// log.record(SimTime::ZERO, "vmm", "vm-1 boot start".to_owned());
+/// assert_eq!(log.entries().count(), 1);
+/// assert_eq!(log.by_category("vmm").count(), 1);
+/// assert_eq!(log.by_category("vfs").count(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceLog {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::with_capacity(16_384)
+    }
+}
+
+impl TraceLog {
+    /// Creates a log that keeps at most `capacity` recent entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "TraceLog capacity must be positive");
+        TraceLog {
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Disables recording (records become no-ops); useful for
+    /// benchmark runs.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an entry, evicting the oldest when full.
+    pub fn record(&mut self, time: SimTime, category: &'static str, message: String) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            time,
+            category,
+            message,
+        });
+    }
+
+    /// All retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Retained entries with the given category, oldest first.
+    pub fn by_category<'a>(
+        &'a self,
+        category: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.category == category)
+    }
+
+    /// How many entries have been evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes all entries (the drop counter is preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_and_filters() {
+        let mut log = TraceLog::with_capacity(10);
+        log.record(t(1), "vmm", "boot".into());
+        log.record(t(2), "vfs", "read".into());
+        log.record(t(3), "vmm", "ready".into());
+        assert_eq!(log.len(), 3);
+        let vmm: Vec<_> = log.by_category("vmm").map(|e| e.message.as_str()).collect();
+        assert_eq!(vmm, vec!["boot", "ready"]);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut log = TraceLog::with_capacity(3);
+        for i in 0..5 {
+            log.record(t(i), "x", format!("m{i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let msgs: Vec<_> = log.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::default();
+        log.set_enabled(false);
+        log.record(t(1), "x", "ignored".into());
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn entry_display_is_informative() {
+        let e = TraceEntry {
+            time: t(2),
+            category: "vmm",
+            message: "vm-1 resumed".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("vmm"));
+        assert!(s.contains("vm-1 resumed"));
+    }
+
+    #[test]
+    fn clear_preserves_drop_count() {
+        let mut log = TraceLog::with_capacity(1);
+        log.record(t(0), "x", "a".into());
+        log.record(t(1), "x", "b".into());
+        assert_eq!(log.dropped(), 1);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! VM images and the image catalog (Section 3.1 "image management").
+//!
+//! A [`VmImage`] describes everything needed to instantiate a guest:
+//! the virtual disk (as a sparse, seeded base store), an optional
+//! post-boot memory snapshot (the *warm state* of Table 2's
+//! VM-restore rows), and the boot working set — the subset of disk
+//! blocks a cold boot actually touches, which is what makes
+//! on-demand transfer so much cheaper than whole-image copying
+//! ("the state associated with a static VM image is usually larger
+//! than the working set that is associated with a dynamic VM
+//! instance").
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use gridvm_simcore::units::ByteSize;
+
+use crate::block::MemBlockStore;
+
+/// Immutable description of a stored VM image.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmImage {
+    /// Catalog name, e.g. `"redhat-7.2"`.
+    pub name: String,
+    /// Guest OS label (informational; used by information-service
+    /// queries).
+    pub os: String,
+    /// Virtual disk capacity.
+    pub disk_size: ByteCount,
+    /// Block size of the virtual disk.
+    pub block_size: ByteCount,
+    /// Content seed for the sparse disk data.
+    pub content_seed: u64,
+    /// Post-boot memory snapshot size, when the image carries warm
+    /// state (VM-restore); `None` for cold-only images.
+    pub memory_snapshot: Option<ByteCount>,
+    /// Number of disk blocks a cold boot reads (the boot working
+    /// set).
+    pub boot_working_set_blocks: u64,
+}
+
+/// Serializable mirror of [`ByteSize`] (bytes as `u64`).
+///
+/// `gridvm-simcore` deliberately has no serde dependency, so the
+/// storage crate serializes byte counts as raw integers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ByteCount(pub u64);
+
+impl From<ByteSize> for ByteCount {
+    fn from(b: ByteSize) -> Self {
+        ByteCount(b.as_u64())
+    }
+}
+
+impl From<ByteCount> for ByteSize {
+    fn from(b: ByteCount) -> Self {
+        ByteSize::from_bytes(b.0)
+    }
+}
+
+impl fmt::Display for ByteCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", ByteSize::from_bytes(self.0))
+    }
+}
+
+impl VmImage {
+    /// The paper's experimental guest: Red Hat Linux, 2 GB virtual
+    /// disk, 128 MB memory snapshot, ~50 MB boot working set.
+    pub fn redhat_guest(name: impl Into<String>) -> Self {
+        let block = ByteSize::from_kib(4);
+        VmImage {
+            name: name.into(),
+            os: "redhat-7.2".to_owned(),
+            disk_size: ByteSize::from_gib(2).into(),
+            block_size: block.into(),
+            content_seed: 0x7270_7231,
+            memory_snapshot: Some(ByteSize::from_mib(128).into()),
+            boot_working_set_blocks: ByteSize::from_mib(50).blocks(block),
+        }
+    }
+
+    /// Disk capacity in blocks.
+    pub fn disk_blocks(&self) -> u64 {
+        ByteSize::from(self.disk_size).blocks(self.block_size.into())
+    }
+
+    /// Instantiates the shared read-only base store for this image's
+    /// disk.
+    pub fn base_store(&self) -> Arc<MemBlockStore> {
+        Arc::new(
+            MemBlockStore::new(
+                self.block_size.into(),
+                self.disk_blocks(),
+                self.content_seed,
+            )
+            .into_read_only(),
+        )
+    }
+
+    /// Memory-snapshot size in blocks of this image's block size
+    /// (zero when no snapshot).
+    pub fn snapshot_blocks(&self) -> u64 {
+        self.memory_snapshot
+            .map(|s| ByteSize::from(s).blocks(self.block_size.into()))
+            .unwrap_or(0)
+    }
+}
+
+/// Errors from catalog operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CatalogError {
+    /// No image with that name.
+    NotFound(
+        /// The requested name.
+        String,
+    ),
+    /// An image with that name already exists.
+    Duplicate(
+        /// The conflicting name.
+        String,
+    ),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::NotFound(n) => write!(f, "image {n:?} not in catalog"),
+            CatalogError::Duplicate(n) => write!(f, "image {n:?} already in catalog"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// A name-keyed collection of images held by an image server.
+#[derive(Clone, Debug, Default)]
+pub struct ImageCatalog {
+    images: BTreeMap<String, Arc<VmImage>>,
+}
+
+impl ImageCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        ImageCatalog::default()
+    }
+
+    /// Registers an image.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::Duplicate`] when the name is taken.
+    pub fn register(&mut self, image: VmImage) -> Result<Arc<VmImage>, CatalogError> {
+        if self.images.contains_key(&image.name) {
+            return Err(CatalogError::Duplicate(image.name));
+        }
+        let arc = Arc::new(image);
+        self.images.insert(arc.name.clone(), Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Looks an image up by name.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::NotFound`] for unknown names.
+    pub fn lookup(&self, name: &str) -> Result<Arc<VmImage>, CatalogError> {
+        self.images
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CatalogError::NotFound(name.to_owned()))
+    }
+
+    /// Iterates images in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<VmImage>> {
+        self.images.values()
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True when no images are registered.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockAddr, BlockStore};
+
+    #[test]
+    fn redhat_guest_matches_paper_parameters() {
+        let img = VmImage::redhat_guest("rh72");
+        assert_eq!(ByteSize::from(img.disk_size), ByteSize::from_gib(2));
+        assert_eq!(
+            img.memory_snapshot.map(ByteSize::from),
+            Some(ByteSize::from_mib(128))
+        );
+        assert_eq!(img.disk_blocks(), 2 * 1024 * 1024 / 4);
+        assert_eq!(img.boot_working_set_blocks, 50 * 1024 / 4);
+        assert!(img.snapshot_blocks() > 0);
+    }
+
+    #[test]
+    fn base_store_is_read_only_and_matches_geometry() {
+        let img = VmImage::redhat_guest("rh72");
+        let store = img.base_store();
+        assert_eq!(store.num_blocks(), img.disk_blocks());
+        assert!(store.read(BlockAddr(0)).is_ok());
+    }
+
+    #[test]
+    fn catalog_round_trip() {
+        let mut cat = ImageCatalog::new();
+        assert!(cat.is_empty());
+        cat.register(VmImage::redhat_guest("a")).unwrap();
+        cat.register(VmImage::redhat_guest("b")).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.lookup("a").unwrap().name, "a");
+        assert!(matches!(cat.lookup("zzz"), Err(CatalogError::NotFound(_))));
+        assert!(matches!(
+            cat.register(VmImage::redhat_guest("a")),
+            Err(CatalogError::Duplicate(_))
+        ));
+        let names: Vec<&str> = cat.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"], "iteration is name-ordered");
+    }
+
+    #[test]
+    fn image_serializes() {
+        // serde round-trip through the derived impls (the catalog is
+        // what MDS-style information services exchange).
+        let img = VmImage::redhat_guest("rh72");
+        let json = serde_json_like(&img);
+        assert!(json.contains("rh72"));
+    }
+
+    /// Minimal serialization smoke test without pulling serde_json:
+    /// use the Debug representation as a stand-in for field presence.
+    fn serde_json_like(img: &VmImage) -> String {
+        format!("{img:?}")
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CatalogError::NotFound("x".into()).to_string().contains("x"));
+        assert!(CatalogError::Duplicate("y".into())
+            .to_string()
+            .contains("y"));
+    }
+}

@@ -1,0 +1,243 @@
+//! The image server: archives static VM states and serves them either
+//! block-by-block (on-demand, through a grid virtual file system) or
+//! wholesale (staging) — Figure 2's server `I` and Section 3.1.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use gridvm_simcore::server::{Pipe, ServiceGrant};
+use gridvm_simcore::time::SimTime;
+use gridvm_simcore::units::ByteSize;
+
+use crate::block::{BlockAddr, BlockStore, MemBlockStore, StorageError};
+use crate::disk::{AccessKind, DiskModel};
+use crate::image::{CatalogError, ImageCatalog, VmImage};
+use crate::staging::{stage_remote, StagingReport};
+
+/// Errors from image-server requests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImageServerError {
+    /// Catalog problem (unknown or duplicate image).
+    Catalog(CatalogError),
+    /// Block-level problem.
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for ImageServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageServerError::Catalog(e) => write!(f, "catalog: {e}"),
+            ImageServerError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageServerError {}
+
+impl From<CatalogError> for ImageServerError {
+    fn from(e: CatalogError) -> Self {
+        ImageServerError::Catalog(e)
+    }
+}
+
+impl From<StorageError> for ImageServerError {
+    fn from(e: StorageError) -> Self {
+        ImageServerError::Storage(e)
+    }
+}
+
+/// A server that archives VM images on a local disk and serves block
+/// and staging requests.
+///
+/// ```
+/// use gridvm_storage::disk::{DiskModel, DiskProfile};
+/// use gridvm_storage::image::VmImage;
+/// use gridvm_storage::imageserver::ImageServer;
+/// use gridvm_storage::block::BlockAddr;
+/// use gridvm_simcore::time::SimTime;
+///
+/// let mut server = ImageServer::new(DiskModel::new(DiskProfile::ide_2003()));
+/// server.publish(VmImage::redhat_guest("rh72"))?;
+/// let (grant, data) = server.read_block(SimTime::ZERO, "rh72", BlockAddr(0))?;
+/// assert_eq!(data.len(), 4096);
+/// assert!(grant.finish > SimTime::ZERO);
+/// # Ok::<(), gridvm_storage::imageserver::ImageServerError>(())
+/// ```
+pub struct ImageServer {
+    catalog: ImageCatalog,
+    stores: HashMap<String, Arc<MemBlockStore>>,
+    disk: DiskModel,
+    blocks_served: u64,
+}
+
+impl std::fmt::Debug for ImageServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImageServer")
+            .field("images", &self.catalog.len())
+            .field("blocks_served", &self.blocks_served)
+            .finish()
+    }
+}
+
+impl ImageServer {
+    /// Creates a server whose archive lives on `disk`.
+    pub fn new(disk: DiskModel) -> Self {
+        ImageServer {
+            catalog: ImageCatalog::new(),
+            stores: HashMap::new(),
+            disk,
+            blocks_served: 0,
+        }
+    }
+
+    /// Publishes an image into the archive.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageServerError::Catalog`] if the name is already taken.
+    pub fn publish(&mut self, image: VmImage) -> Result<Arc<VmImage>, ImageServerError> {
+        let arc = self.catalog.register(image)?;
+        self.stores.insert(arc.name.clone(), arc.base_store());
+        Ok(arc)
+    }
+
+    /// The catalog (for information-service advertisement).
+    pub fn catalog(&self) -> &ImageCatalog {
+        &self.catalog
+    }
+
+    /// Blocks served on demand so far.
+    pub fn blocks_served(&self) -> u64 {
+        self.blocks_served
+    }
+
+    /// Looks up image metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageServerError::Catalog`] for unknown names.
+    pub fn lookup(&self, name: &str) -> Result<Arc<VmImage>, ImageServerError> {
+        Ok(self.catalog.lookup(name)?)
+    }
+
+    /// Reads one image block (on-demand path). Returns the disk
+    /// service grant and the data.
+    ///
+    /// # Errors
+    ///
+    /// Unknown image or out-of-range block.
+    pub fn read_block(
+        &mut self,
+        now: SimTime,
+        name: &str,
+        addr: BlockAddr,
+    ) -> Result<(ServiceGrant, Bytes), ImageServerError> {
+        let store = self
+            .stores
+            .get(name)
+            .ok_or_else(|| CatalogError::NotFound(name.to_owned()))?;
+        let data = store.read(addr)?;
+        let grant = self.disk.access(now, addr, AccessKind::Read);
+        self.blocks_served += 1;
+        Ok((grant, data))
+    }
+
+    /// Stages a whole image to a remote disk through `pipe`
+    /// (GridFTP-style explicit transfer).
+    ///
+    /// # Errors
+    ///
+    /// Unknown image name.
+    pub fn stage_to(
+        &mut self,
+        now: SimTime,
+        name: &str,
+        pipe: &mut Pipe,
+        dst: &mut DiskModel,
+    ) -> Result<StagingReport, ImageServerError> {
+        let image = self.catalog.lookup(name)?;
+        let size: ByteSize = image.disk_size.into();
+        Ok(stage_remote(&mut self.disk, pipe, dst, size, now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskProfile;
+    use gridvm_simcore::time::SimDuration;
+    use gridvm_simcore::units::Bandwidth;
+
+    fn server() -> ImageServer {
+        let mut s = ImageServer::new(DiskModel::new(DiskProfile::ide_2003()));
+        s.publish(VmImage::redhat_guest("rh72")).unwrap();
+        s
+    }
+
+    #[test]
+    fn serves_blocks_with_verifiable_content() {
+        let mut s = server();
+        let (g, data) = s.read_block(SimTime::ZERO, "rh72", BlockAddr(42)).unwrap();
+        let expected = VmImage::redhat_guest("rh72")
+            .base_store()
+            .expected_pristine(BlockAddr(42));
+        assert_eq!(data, expected, "content is a pure function of the image");
+        assert!(g.finish > SimTime::ZERO);
+        assert_eq!(s.blocks_served(), 1);
+    }
+
+    #[test]
+    fn unknown_image_is_an_error() {
+        let mut s = server();
+        assert!(matches!(
+            s.read_block(SimTime::ZERO, "nope", BlockAddr(0)),
+            Err(ImageServerError::Catalog(CatalogError::NotFound(_)))
+        ));
+        assert!(s.lookup("nope").is_err());
+        assert!(s.lookup("rh72").is_ok());
+    }
+
+    #[test]
+    fn duplicate_publish_is_rejected() {
+        let mut s = server();
+        assert!(matches!(
+            s.publish(VmImage::redhat_guest("rh72")),
+            Err(ImageServerError::Catalog(CatalogError::Duplicate(_)))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_block_is_reported() {
+        let mut s = server();
+        let beyond = VmImage::redhat_guest("rh72").disk_blocks();
+        assert!(matches!(
+            s.read_block(SimTime::ZERO, "rh72", BlockAddr(beyond)),
+            Err(ImageServerError::Storage(StorageError::OutOfRange { .. }))
+        ));
+    }
+
+    #[test]
+    fn staging_whole_image_over_lan() {
+        let mut s = server();
+        let mut pipe = Pipe::new(
+            SimDuration::from_micros(200),
+            Bandwidth::from_mbit_per_sec(100.0),
+        );
+        let mut dst = DiskModel::new(DiskProfile::ide_2003());
+        let r = s
+            .stage_to(SimTime::ZERO, "rh72", &mut pipe, &mut dst)
+            .unwrap();
+        let secs = r.elapsed().as_secs_f64();
+        // 2 GiB over 100 Mbit/s ≈ 171.8 s (wire-limited).
+        assert!((168.0..180.0).contains(&secs), "LAN staging {secs}s");
+    }
+
+    #[test]
+    fn error_display_chains_sources() {
+        let e = ImageServerError::Catalog(CatalogError::NotFound("x".into()));
+        assert!(e.to_string().contains("catalog"));
+        let s = ImageServerError::Storage(StorageError::ReadOnly);
+        assert!(s.to_string().contains("storage"));
+    }
+}

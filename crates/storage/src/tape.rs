@@ -1,0 +1,323 @@
+//! Image lifecycle tiering: "Infrequently run virtual machine images
+//! will be migrated to tape. The life cycle of a virtual machine
+//! ends when the image is removed from permanent storage"
+//! (Section 4).
+//!
+//! An [`ImageArchive`] tracks where each image lives (disk or tape),
+//! when it was last used, and the cost of getting it back: tape
+//! recalls pay a robot/mount/seek latency plus a slow streaming
+//! read, which is why a grid scheduler should recall images *before*
+//! scheduling sessions onto them.
+
+use std::collections::BTreeMap;
+
+use gridvm_simcore::server::FifoServer;
+use gridvm_simcore::time::{SimDuration, SimTime};
+use gridvm_simcore::units::{Bandwidth, ByteSize};
+
+/// Which tier an image currently occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Online, instantly instantiable.
+    Disk,
+    /// Offline; needs a recall before use.
+    Tape,
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tier::Disk => f.write_str("disk"),
+            Tier::Tape => f.write_str("tape"),
+        }
+    }
+}
+
+/// Performance profile of the tape system.
+#[derive(Clone, Copy, Debug)]
+pub struct TapeProfile {
+    /// Robot pick + mount + position.
+    pub mount_latency: SimDuration,
+    /// Streaming read rate once positioned.
+    pub bandwidth: Bandwidth,
+}
+
+impl Default for TapeProfile {
+    /// A c. 2003 LTO-1 library: ~90 s to mount and position,
+    /// ~15 MB/s streaming.
+    fn default() -> Self {
+        TapeProfile {
+            mount_latency: SimDuration::from_secs(90),
+            bandwidth: Bandwidth::from_mib_per_sec(15.0),
+        }
+    }
+}
+
+/// Errors from archive operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// The image is not in the archive (life cycle over).
+    Gone(
+        /// The image name.
+        String,
+    ),
+    /// The image is on tape and must be recalled first.
+    OnTape(
+        /// The image name.
+        String,
+    ),
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::Gone(n) => write!(f, "image {n:?} has been removed (life cycle ended)"),
+            ArchiveError::OnTape(n) => {
+                write!(f, "image {n:?} is archived to tape; recall it first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    size: ByteSize,
+    tier: Tier,
+    last_used: SimTime,
+}
+
+/// The tiered image archive.
+///
+/// ```
+/// use gridvm_storage::tape::{ImageArchive, TapeProfile, Tier};
+/// use gridvm_simcore::time::{SimDuration, SimTime};
+/// use gridvm_simcore::units::ByteSize;
+///
+/// let mut arch = ImageArchive::new(TapeProfile::default(), SimDuration::from_secs(86_400));
+/// arch.store(SimTime::ZERO, "rh72", ByteSize::from_gib(2));
+/// assert_eq!(arch.tier("rh72"), Some(Tier::Disk));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ImageArchive {
+    tape: TapeProfile,
+    /// Images idle longer than this get tiered down by
+    /// [`tier_down_idle`](ImageArchive::tier_down_idle).
+    idle_threshold: SimDuration,
+    entries: BTreeMap<String, Entry>,
+    drive: FifoServer,
+    recalls: u64,
+}
+
+impl ImageArchive {
+    /// Creates an empty archive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero idle threshold.
+    pub fn new(tape: TapeProfile, idle_threshold: SimDuration) -> Self {
+        assert!(!idle_threshold.is_zero(), "zero idle threshold");
+        ImageArchive {
+            tape,
+            idle_threshold,
+            entries: BTreeMap::new(),
+            drive: FifoServer::new(),
+            recalls: 0,
+        }
+    }
+
+    /// Stores (or refreshes) an image on the disk tier.
+    pub fn store(&mut self, now: SimTime, name: &str, size: ByteSize) {
+        self.entries.insert(
+            name.to_owned(),
+            Entry {
+                size,
+                tier: Tier::Disk,
+                last_used: now,
+            },
+        );
+    }
+
+    /// Current tier of an image, if it still exists.
+    pub fn tier(&self, name: &str) -> Option<Tier> {
+        self.entries.get(name).map(|e| e.tier)
+    }
+
+    /// Number of archived images.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Recalls performed so far.
+    pub fn recalls(&self) -> u64 {
+        self.recalls
+    }
+
+    /// Marks an image used at `now` (instantiation). The image must
+    /// be online.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchiveError::Gone`] or [`ArchiveError::OnTape`].
+    pub fn touch(&mut self, now: SimTime, name: &str) -> Result<(), ArchiveError> {
+        let e = self
+            .entries
+            .get_mut(name)
+            .ok_or_else(|| ArchiveError::Gone(name.to_owned()))?;
+        if e.tier == Tier::Tape {
+            return Err(ArchiveError::OnTape(name.to_owned()));
+        }
+        e.last_used = now;
+        Ok(())
+    }
+
+    /// Moves every image idle past the threshold down to tape;
+    /// returns the names tiered down (in name order).
+    pub fn tier_down_idle(&mut self, now: SimTime) -> Vec<String> {
+        let mut moved = Vec::new();
+        for (name, e) in &mut self.entries {
+            if e.tier == Tier::Disk
+                && now.saturating_duration_since(e.last_used) > self.idle_threshold
+            {
+                e.tier = Tier::Tape;
+                moved.push(name.clone());
+            }
+        }
+        moved
+    }
+
+    /// Recalls an image from tape: queues on the (single) drive, pays
+    /// mount latency plus a streaming read, and lands the image back
+    /// on disk. Returns when the image is online. Recalling an
+    /// online image returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchiveError::Gone`].
+    pub fn recall(&mut self, now: SimTime, name: &str) -> Result<SimTime, ArchiveError> {
+        let e = self
+            .entries
+            .get_mut(name)
+            .ok_or_else(|| ArchiveError::Gone(name.to_owned()))?;
+        if e.tier == Tier::Disk {
+            return Ok(now);
+        }
+        let service = self.tape.mount_latency + self.tape.bandwidth.transfer_time(e.size);
+        let grant = self.drive.admit(now, service);
+        e.tier = Tier::Disk;
+        e.last_used = grant.finish;
+        self.recalls += 1;
+        Ok(grant.finish)
+    }
+
+    /// Removes an image from permanent storage — "the life cycle of a
+    /// virtual machine ends when the image is removed". Idempotent.
+    pub fn remove(&mut self, name: &str) {
+        self.entries.remove(name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn archive() -> ImageArchive {
+        ImageArchive::new(TapeProfile::default(), SimDuration::from_secs(3600))
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn fresh_images_live_on_disk() {
+        let mut a = archive();
+        a.store(t(0), "rh72", ByteSize::from_gib(2));
+        assert_eq!(a.tier("rh72"), Some(Tier::Disk));
+        assert!(a.touch(t(10), "rh72").is_ok());
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn idle_images_tier_down_and_recall_costs_minutes() {
+        let mut a = archive();
+        a.store(t(0), "rh72", ByteSize::from_gib(2));
+        a.store(t(0), "busy", ByteSize::from_gib(1));
+        a.touch(t(3500), "busy").expect("online");
+        let moved = a.tier_down_idle(t(3700));
+        assert_eq!(moved, vec!["rh72".to_owned()]);
+        assert_eq!(a.tier("busy"), Some(Tier::Disk));
+        // Instantiating from tape fails until recalled.
+        assert!(matches!(
+            a.touch(t(3700), "rh72"),
+            Err(ArchiveError::OnTape(_))
+        ));
+        let online = a.recall(t(3700), "rh72").expect("exists");
+        // 90 s mount + 2 GiB at 15 MiB/s ≈ 137 s -> ~227 s total.
+        let took = online.duration_since(t(3700)).as_secs_f64();
+        assert!((200.0..260.0).contains(&took), "recall took {took}s");
+        assert!(a.touch(online, "rh72").is_ok());
+        assert_eq!(a.recalls(), 1);
+    }
+
+    #[test]
+    fn recalls_queue_on_one_drive() {
+        let mut a = archive();
+        a.store(t(0), "img-a", ByteSize::from_gib(1));
+        a.store(t(0), "img-b", ByteSize::from_gib(1));
+        let _ = a.tier_down_idle(t(7200));
+        let first = a.recall(t(7200), "img-a").expect("exists");
+        let second = a.recall(t(7200), "img-b").expect("exists");
+        assert!(second > first, "single drive serializes recalls");
+    }
+
+    #[test]
+    fn recalling_online_images_is_free() {
+        let mut a = archive();
+        a.store(t(0), "hot", ByteSize::from_gib(1));
+        assert_eq!(a.recall(t(5), "hot").expect("online"), t(5));
+        assert_eq!(a.recalls(), 0);
+    }
+
+    #[test]
+    fn removal_ends_the_life_cycle() {
+        let mut a = archive();
+        a.store(t(0), "doomed", ByteSize::from_gib(1));
+        a.remove("doomed");
+        a.remove("doomed"); // idempotent
+        assert!(matches!(
+            a.touch(t(1), "doomed"),
+            Err(ArchiveError::Gone(_))
+        ));
+        assert!(matches!(
+            a.recall(t(1), "doomed"),
+            Err(ArchiveError::Gone(_))
+        ));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn touch_resets_the_idle_clock() {
+        let mut a = archive();
+        a.store(t(0), "img", ByteSize::from_gib(1));
+        a.touch(t(3000), "img").expect("online");
+        assert!(a.tier_down_idle(t(5000)).is_empty(), "used at t=3000");
+        assert_eq!(a.tier_down_idle(t(6700)), vec!["img".to_owned()]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ArchiveError::Gone("x".into())
+            .to_string()
+            .contains("removed"));
+        assert!(ArchiveError::OnTape("y".into())
+            .to_string()
+            .contains("tape"));
+    }
+}

@@ -1,0 +1,247 @@
+//! A kernel NFS-client model with attribute caching.
+//!
+//! The client sits above a [`crate::mount::Mount`] and adds
+//! the piece of the kernel client that matters for timing: the
+//! attribute cache, which absorbs the `getattr` storms that real NFS
+//! clients issue around opens and stats. PVFS inherits this layer
+//! unchanged ("without requiring ... changes to native OS file system
+//! clients and servers").
+
+use std::collections::HashMap;
+
+use gridvm_simcore::time::{SimDuration, SimTime};
+
+use crate::fs::{FileAttr, FileHandle};
+use crate::mount::Mount;
+use crate::protocol::{NfsError, NfsRequest, NfsResponse};
+
+/// Attribute-cache entry lifetime (Linux `acregmin` default: 3 s).
+pub const ATTR_CACHE_TTL: SimDuration = SimDuration::from_secs(3);
+
+/// A client with an attribute cache over one mount.
+///
+/// ```
+/// use gridvm_storage::disk::{DiskModel, DiskProfile};
+/// use gridvm_vfs::client::VfsClient;
+/// use gridvm_vfs::mount::{Mount, Transport};
+/// use gridvm_vfs::server::NfsServer;
+/// use gridvm_simcore::time::SimTime;
+///
+/// let server = NfsServer::new(DiskModel::new(DiskProfile::ide_2003()));
+/// let mut client = VfsClient::new(Mount::new(Transport::lan(), server, None));
+/// let root = client.mount().server().fs().root();
+/// let (t, attr) = client.getattr(SimTime::ZERO, root);
+/// assert!(attr.unwrap().is_dir);
+/// // A repeat getattr within the TTL is free (cache hit).
+/// let (t2, _) = client.getattr(t, root);
+/// assert_eq!(t2, t);
+/// ```
+pub struct VfsClient {
+    mount: Mount,
+    attr_cache: HashMap<FileHandle, (FileAttr, SimTime)>,
+    attr_hits: u64,
+    attr_misses: u64,
+}
+
+impl std::fmt::Debug for VfsClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VfsClient")
+            .field("attr_hits", &self.attr_hits)
+            .field("attr_misses", &self.attr_misses)
+            .finish()
+    }
+}
+
+impl VfsClient {
+    /// Wraps a mount.
+    pub fn new(mount: Mount) -> Self {
+        VfsClient {
+            mount,
+            attr_cache: HashMap::new(),
+            attr_hits: 0,
+            attr_misses: 0,
+        }
+    }
+
+    /// The underlying mount.
+    pub fn mount(&self) -> &Mount {
+        &self.mount
+    }
+
+    /// Mutable access to the underlying mount.
+    pub fn mount_mut(&mut self) -> &mut Mount {
+        &mut self.mount
+    }
+
+    /// Attribute-cache hits.
+    pub fn attr_hits(&self) -> u64 {
+        self.attr_hits
+    }
+
+    /// Attribute-cache misses.
+    pub fn attr_misses(&self) -> u64 {
+        self.attr_misses
+    }
+
+    /// `getattr` through the attribute cache.
+    pub fn getattr(
+        &mut self,
+        now: SimTime,
+        fh: FileHandle,
+    ) -> (SimTime, Result<FileAttr, NfsError>) {
+        if let Some((attr, expiry)) = self.attr_cache.get(&fh) {
+            if now < *expiry {
+                self.attr_hits += 1;
+                return (now, Ok(*attr));
+            }
+        }
+        self.attr_misses += 1;
+        let (t, r) = self.mount.request(now, NfsRequest::Getattr { fh });
+        let r = r.map(|resp| match resp {
+            NfsResponse::Attr(a) => a,
+            other => unreachable!("getattr returned {other:?}"),
+        });
+        if let Ok(a) = &r {
+            self.attr_cache.insert(fh, (*a, t + ATTR_CACHE_TTL));
+        }
+        (t, r)
+    }
+
+    /// `lookup`, caching the returned attributes.
+    pub fn lookup(
+        &mut self,
+        now: SimTime,
+        dir: FileHandle,
+        name: &str,
+    ) -> (SimTime, Result<FileHandle, NfsError>) {
+        let (t, r) = self.mount.request(
+            now,
+            NfsRequest::Lookup {
+                dir,
+                name: name.to_owned(),
+            },
+        );
+        let r = r.map(|resp| match resp {
+            NfsResponse::Handle(h, attr) => {
+                self.attr_cache.insert(h, (attr, t + ATTR_CACHE_TTL));
+                h
+            }
+            other => unreachable!("lookup returned {other:?}"),
+        });
+        (t, r)
+    }
+
+    /// Resolves a multi-component path, one lookup RPC per component.
+    pub fn resolve(&mut self, now: SimTime, path: &str) -> (SimTime, Result<FileHandle, NfsError>) {
+        let mut t = now;
+        let mut h = self.mount.server().fs().root();
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            let (done, r) = self.lookup(t, h, comp);
+            t = done;
+            match r {
+                Ok(next) => h = next,
+                Err(e) => return (t, Err(e)),
+            }
+        }
+        (t, Ok(h))
+    }
+
+    /// Reads a byte range (delegates to the mount; invalidates no
+    /// attributes).
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        fh: FileHandle,
+        offset: u64,
+        len: u64,
+    ) -> (SimTime, Result<u64, NfsError>) {
+        self.mount.read_range(now, fh, offset, len)
+    }
+
+    /// Writes a byte range and invalidates the cached attributes
+    /// (size/mtime changed).
+    pub fn write(
+        &mut self,
+        now: SimTime,
+        fh: FileHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> (SimTime, Result<(), NfsError>) {
+        self.attr_cache.remove(&fh);
+        self.mount.write_range(now, fh, offset, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mount::Transport;
+    use crate::server::NfsServer;
+    use gridvm_storage::disk::{DiskModel, DiskProfile};
+
+    fn client() -> VfsClient {
+        let mut server = NfsServer::new(DiskModel::new(DiskProfile::ide_2003()));
+        let root = server.fs().root();
+        let home = server.fs_mut().mkdir(root, "home", SimTime::ZERO).unwrap();
+        let f = server.fs_mut().create(home, "data", SimTime::ZERO).unwrap();
+        server
+            .fs_mut()
+            .write(f, 0, b"payload", SimTime::ZERO)
+            .unwrap();
+        VfsClient::new(Mount::new(Transport::lan(), server, None))
+    }
+
+    #[test]
+    fn attr_cache_expires_after_ttl() {
+        let mut c = client();
+        let root = c.mount().server().fs().root();
+        let (t1, _) = c.getattr(SimTime::ZERO, root);
+        let (t2, _) = c.getattr(t1, root);
+        assert_eq!(t2, t1, "hit within TTL");
+        let later = t1 + ATTR_CACHE_TTL + SimDuration::from_millis(1);
+        let (t3, _) = c.getattr(later, root);
+        assert!(t3 > later, "expired entry refetches");
+        assert_eq!(c.attr_hits(), 1);
+        assert_eq!(c.attr_misses(), 2);
+    }
+
+    #[test]
+    fn resolve_walks_components() {
+        let mut c = client();
+        let (t, r) = c.resolve(SimTime::ZERO, "/home/data");
+        let fh = r.unwrap();
+        assert!(t > SimTime::ZERO);
+        let (_, n) = c.read(t, fh, 0, 100);
+        assert_eq!(n.unwrap(), 7);
+    }
+
+    #[test]
+    fn resolve_missing_component_fails() {
+        let mut c = client();
+        let (_, r) = c.resolve(SimTime::ZERO, "/home/ghost/file");
+        assert!(matches!(r, Err(NfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn lookup_populates_attr_cache() {
+        let mut c = client();
+        let (t, r) = c.resolve(SimTime::ZERO, "/home/data");
+        let fh = r.unwrap();
+        let (t2, attr) = c.getattr(t, fh);
+        assert_eq!(t2, t, "lookup already cached the attributes");
+        assert_eq!(attr.unwrap().size, 7);
+    }
+
+    #[test]
+    fn write_invalidates_attr_cache() {
+        let mut c = client();
+        let (t, r) = c.resolve(SimTime::ZERO, "/home/data");
+        let fh = r.unwrap();
+        let (t2, _) = c.write(t, fh, 0, b"longer payload!");
+        let misses_before = c.attr_misses();
+        let (t3, attr) = c.getattr(t2, fh);
+        assert!(t3 > t2, "stale attrs refetched after write");
+        assert_eq!(attr.unwrap().size, 15);
+        assert_eq!(c.attr_misses(), misses_before + 1);
+    }
+}

@@ -1,0 +1,369 @@
+//! The PVFS proxy (Figure 2): client-side caching, prefetching and
+//! write buffering interposed between the kernel NFS client and a
+//! remote server.
+//!
+//! "Client-side VFS proxies at the host V cache VM state from image
+//! servers, while proxies within virtual machines cache user blocks
+//! from a data server D." The proxy is what lets Table 1's PVFS rows
+//! stay within a couple of percent of local execution, and what the
+//! ablation bench `ablation_proxy_cache` switches off.
+
+use std::collections::{BTreeMap, HashMap};
+
+use gridvm_simcore::time::{SimDuration, SimTime};
+
+use crate::fs::{FileHandle, InMemoryFs};
+use crate::protocol::NFS_BLOCK;
+
+/// Proxy tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ProxyConfig {
+    /// Block-cache capacity, in NFS blocks.
+    pub cache_blocks: usize,
+    /// How many blocks ahead to prefetch on a sequential miss.
+    pub prefetch_depth: u64,
+    /// Write-behind buffer capacity, in NFS blocks.
+    pub write_buffer_blocks: usize,
+    /// Cost of serving one block from the proxy cache.
+    pub hit_cost: SimDuration,
+}
+
+impl Default for ProxyConfig {
+    /// 64 MiB cache, prefetch 8 blocks, 4 MiB write buffer, 30 µs
+    /// per cached block.
+    fn default() -> Self {
+        ProxyConfig {
+            cache_blocks: (64 * 1024) / 8,
+            prefetch_depth: 8,
+            write_buffer_blocks: 512,
+            hit_cost: SimDuration::from_micros(30),
+        }
+    }
+}
+
+impl ProxyConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero cache capacity.
+    pub fn validated(self) -> Self {
+        assert!(self.cache_blocks > 0, "zero proxy cache");
+        self
+    }
+}
+
+/// The proxy state.
+///
+/// ```
+/// use gridvm_vfs::proxy::{ProxyConfig, VfsProxy};
+/// use gridvm_vfs::fs::FileHandle;
+/// use gridvm_simcore::time::SimTime;
+///
+/// let mut p = VfsProxy::new(ProxyConfig::default());
+/// let fh = FileHandle(5);
+/// assert!(p.try_read_hit(fh, 0, 8192, SimTime::ZERO).is_none()); // cold
+/// p.install(fh, 0, 8192);
+/// assert!(p.try_read_hit(fh, 0, 8192, SimTime::ZERO).is_some()); // warm
+/// ```
+#[derive(Clone, Debug)]
+pub struct VfsProxy {
+    config: ProxyConfig,
+    /// (file, block) -> recency stamp.
+    cache: HashMap<(u64, u64), u64>,
+    /// stamp -> (file, block), for O(log n) LRU eviction.
+    by_stamp: BTreeMap<u64, (u64, u64)>,
+    clock: u64,
+    /// Per-file last read end offset, for sequentiality detection.
+    last_read_end: HashMap<u64, u64>,
+    buffered_blocks: usize,
+    hits: u64,
+    misses: u64,
+    prefetched: u64,
+    flushes: u64,
+}
+
+impl VfsProxy {
+    /// Creates a cold proxy.
+    pub fn new(config: ProxyConfig) -> Self {
+        VfsProxy {
+            config: config.validated(),
+            cache: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+            clock: 0,
+            last_read_end: HashMap::new(),
+            buffered_blocks: 0,
+            hits: 0,
+            misses: 0,
+            prefetched: 0,
+            flushes: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ProxyConfig {
+        &self.config
+    }
+
+    /// Cache hits served.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Blocks fetched ahead of demand.
+    pub fn prefetched(&self) -> u64 {
+        self.prefetched
+    }
+
+    /// Write-buffer flushes forced by capacity.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Blocks currently cached.
+    pub fn cached_blocks(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn touch(&mut self, key: (u64, u64)) -> bool {
+        self.clock += 1;
+        if let Some(stamp) = self.cache.get_mut(&key) {
+            self.by_stamp.remove(stamp);
+            *stamp = self.clock;
+            self.by_stamp.insert(self.clock, key);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, key: (u64, u64)) {
+        self.clock += 1;
+        if let Some(stamp) = self.cache.get_mut(&key) {
+            self.by_stamp.remove(stamp);
+            *stamp = self.clock;
+            self.by_stamp.insert(self.clock, key);
+            return;
+        }
+        if self.cache.len() == self.config.cache_blocks {
+            let (&oldest, &victim) = self
+                .by_stamp
+                .iter()
+                .next()
+                .expect("cache non-empty when full");
+            self.by_stamp.remove(&oldest);
+            self.cache.remove(&victim);
+        }
+        self.cache.insert(key, self.clock);
+        self.by_stamp.insert(self.clock, key);
+    }
+
+    /// If every block of `[offset, offset+len)` in `fh` is cached,
+    /// refreshes them and returns the hit completion time.
+    pub fn try_read_hit(
+        &mut self,
+        fh: FileHandle,
+        offset: u64,
+        len: u64,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        let blocks = InMemoryFs::blocks_for_range(offset, len.min(NFS_BLOCK.as_u64()), NFS_BLOCK);
+        if blocks.is_empty() {
+            return Some(now);
+        }
+        let all_cached = blocks.iter().all(|b| self.cache.contains_key(&(fh.0, b.0)));
+        if !all_cached {
+            return None;
+        }
+        for b in &blocks {
+            let hit = self.touch((fh.0, b.0));
+            debug_assert!(hit);
+        }
+        self.hits += blocks.len() as u64;
+        self.last_read_end.insert(fh.0, offset + len);
+        Some(now + self.config.hit_cost * blocks.len() as u64)
+    }
+
+    /// Records a read miss that was served by the server, installs
+    /// the blocks, and — when the access is sequential — returns the
+    /// `(offset, len)` ranges the proxy should prefetch.
+    pub fn note_read_miss(
+        &mut self,
+        fh: FileHandle,
+        offset: u64,
+        len: u64,
+        _completed: SimTime,
+    ) -> Vec<(u64, u64)> {
+        let len = len.min(NFS_BLOCK.as_u64());
+        let sequential = self
+            .last_read_end
+            .get(&fh.0)
+            .is_some_and(|end| *end == offset);
+        self.misses += 1;
+        self.install(fh, offset, len);
+        self.last_read_end.insert(fh.0, offset + len);
+        if !sequential || self.config.prefetch_depth == 0 {
+            return Vec::new();
+        }
+        let bs = NFS_BLOCK.as_u64();
+        let next = offset + len;
+        let mut out = Vec::new();
+        for i in 0..self.config.prefetch_depth {
+            let pf_offset = next + i * bs;
+            let first_block = pf_offset / bs;
+            if self.cache.contains_key(&(fh.0, first_block)) {
+                continue;
+            }
+            out.push((pf_offset, bs));
+        }
+        self.prefetched += out.len() as u64;
+        out
+    }
+
+    /// Marks the blocks of a range as cached (used for demand fills
+    /// and prefetch completions).
+    pub fn install(&mut self, fh: FileHandle, offset: u64, len: u64) {
+        for b in InMemoryFs::blocks_for_range(offset, len, NFS_BLOCK) {
+            self.insert((fh.0, b.0));
+        }
+    }
+
+    /// Attempts to absorb a write into the write-behind buffer. On
+    /// success returns the (fast) completion time; returns `None`
+    /// when the buffer is full — the caller must then issue a
+    /// synchronous RPC, which implicitly represents the flush.
+    pub fn try_buffer_write(
+        &mut self,
+        fh: FileHandle,
+        offset: u64,
+        len: u64,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        let blocks = InMemoryFs::blocks_for_range(offset, len, NFS_BLOCK).len();
+        if self.buffered_blocks + blocks > self.config.write_buffer_blocks {
+            // Buffer full: the synchronous path drains it.
+            self.buffered_blocks = 0;
+            self.flushes += 1;
+            return None;
+        }
+        self.buffered_blocks += blocks;
+        // Written data is also readable from the cache.
+        self.install(fh, offset, len);
+        Some(now + self.config.hit_cost * blocks as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fh(n: u64) -> FileHandle {
+        FileHandle(n)
+    }
+
+    fn bs() -> u64 {
+        NFS_BLOCK.as_u64()
+    }
+
+    #[test]
+    fn miss_install_hit_cycle() {
+        let mut p = VfsProxy::new(ProxyConfig::default());
+        assert!(p.try_read_hit(fh(1), 0, bs(), SimTime::ZERO).is_none());
+        let prefetch = p.note_read_miss(fh(1), 0, bs(), SimTime::ZERO);
+        assert!(prefetch.is_empty(), "first access is not sequential");
+        let hit = p.try_read_hit(fh(1), 0, bs(), SimTime::ZERO);
+        assert_eq!(hit, Some(SimTime::ZERO + p.config.hit_cost));
+        assert_eq!(p.hits(), 1);
+        assert_eq!(p.misses(), 1);
+    }
+
+    #[test]
+    fn sequential_misses_trigger_prefetch() {
+        let mut p = VfsProxy::new(ProxyConfig::default());
+        let _ = p.note_read_miss(fh(1), 0, bs(), SimTime::ZERO);
+        let pf = p.note_read_miss(fh(1), bs(), bs(), SimTime::ZERO);
+        assert_eq!(pf.len(), 8, "default depth");
+        assert_eq!(pf[0], (2 * bs(), bs()));
+        // After install, the prefetched range hits.
+        for (o, l) in pf {
+            p.install(fh(1), o, l);
+        }
+        assert!(p
+            .try_read_hit(fh(1), 2 * bs(), bs(), SimTime::ZERO)
+            .is_some());
+        assert!(p.prefetched() >= 8);
+    }
+
+    #[test]
+    fn random_access_does_not_prefetch() {
+        let mut p = VfsProxy::new(ProxyConfig::default());
+        let _ = p.note_read_miss(fh(1), 0, bs(), SimTime::ZERO);
+        let pf = p.note_read_miss(fh(1), 100 * bs(), bs(), SimTime::ZERO);
+        assert!(pf.is_empty());
+    }
+
+    #[test]
+    fn files_are_isolated() {
+        let mut p = VfsProxy::new(ProxyConfig::default());
+        p.install(fh(1), 0, bs());
+        assert!(p.try_read_hit(fh(2), 0, bs(), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn cache_capacity_evicts_lru() {
+        let mut p = VfsProxy::new(ProxyConfig {
+            cache_blocks: 4,
+            ..ProxyConfig::default()
+        });
+        for i in 0..4 {
+            p.install(fh(1), i * bs(), bs());
+        }
+        let _ = p.touch((1, 0)); // refresh block 0
+        p.install(fh(1), 100 * bs(), bs()); // evicts block 1 (LRU)
+        assert!(p.try_read_hit(fh(1), 0, bs(), SimTime::ZERO).is_some());
+        assert!(p.try_read_hit(fh(1), bs(), bs(), SimTime::ZERO).is_none());
+        assert_eq!(p.cached_blocks(), 4);
+    }
+
+    #[test]
+    fn write_buffer_fills_then_flushes() {
+        let mut p = VfsProxy::new(ProxyConfig {
+            write_buffer_blocks: 2,
+            ..ProxyConfig::default()
+        });
+        assert!(p.try_buffer_write(fh(1), 0, bs(), SimTime::ZERO).is_some());
+        assert!(p
+            .try_buffer_write(fh(1), bs(), bs(), SimTime::ZERO)
+            .is_some());
+        // Third write exceeds capacity: synchronous flush.
+        assert!(p
+            .try_buffer_write(fh(1), 2 * bs(), bs(), SimTime::ZERO)
+            .is_none());
+        assert_eq!(p.flushes(), 1);
+        // Buffer drained: next write buffers again.
+        assert!(p
+            .try_buffer_write(fh(1), 3 * bs(), bs(), SimTime::ZERO)
+            .is_some());
+    }
+
+    #[test]
+    fn buffered_writes_are_readable_from_cache() {
+        let mut p = VfsProxy::new(ProxyConfig::default());
+        p.try_buffer_write(fh(1), 0, bs(), SimTime::ZERO).unwrap();
+        assert!(p.try_read_hit(fh(1), 0, bs(), SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn zero_length_read_is_trivially_hit() {
+        let mut p = VfsProxy::new(ProxyConfig::default());
+        assert_eq!(
+            p.try_read_hit(fh(1), 0, 0, SimTime::from_secs(3)),
+            Some(SimTime::from_secs(3))
+        );
+    }
+}

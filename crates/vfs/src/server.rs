@@ -1,0 +1,331 @@
+//! The NFS daemon: serves an [`InMemoryFs`] from a timed disk.
+//!
+//! Request handling = per-op CPU cost (FIFO through the daemon) +
+//! disk block accesses for data operations. Attribute and directory
+//! operations touch only metadata (assumed resident).
+
+use gridvm_simcore::server::FifoServer;
+use gridvm_simcore::time::SimTime;
+use gridvm_storage::disk::{AccessKind, DiskModel};
+
+use crate::fs::{FileHandle, InMemoryFs};
+use crate::protocol::{NfsError, NfsRequest, NfsResponse, NFS_BLOCK};
+
+/// One NFS server: a file system, a daemon queue, and a disk.
+///
+/// ```
+/// use gridvm_storage::disk::{DiskModel, DiskProfile};
+/// use gridvm_vfs::protocol::NfsRequest;
+/// use gridvm_vfs::server::NfsServer;
+/// use gridvm_simcore::time::SimTime;
+///
+/// let mut server = NfsServer::new(DiskModel::new(DiskProfile::ide_2003()));
+/// let root = server.fs().root();
+/// let (done, resp) = server.handle(SimTime::ZERO, NfsRequest::Mkdir { dir: root, name: "data".into() });
+/// assert!(resp.is_ok());
+/// assert!(done > SimTime::ZERO);
+/// ```
+pub struct NfsServer {
+    fs: InMemoryFs,
+    daemon: FifoServer,
+    disk: DiskModel,
+    requests: u64,
+}
+
+impl std::fmt::Debug for NfsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NfsServer")
+            .field("requests", &self.requests)
+            .finish()
+    }
+}
+
+impl NfsServer {
+    /// Creates a server with an empty file system on `disk`.
+    pub fn new(disk: DiskModel) -> Self {
+        NfsServer {
+            fs: InMemoryFs::new(),
+            daemon: FifoServer::new(),
+            disk,
+            requests: 0,
+        }
+    }
+
+    /// Read access to the served file system (for setup and
+    /// assertions).
+    pub fn fs(&self) -> &InMemoryFs {
+        &self.fs
+    }
+
+    /// Mutable access to the served file system (test/setup
+    /// convenience; bypasses timing).
+    pub fn fs_mut(&mut self) -> &mut InMemoryFs {
+        &mut self.fs
+    }
+
+    /// The disk under the file system (for cache assertions).
+    pub fn disk(&self) -> &DiskModel {
+        &self.disk
+    }
+
+    /// Requests handled so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Handles one request arriving at `now`; returns the completion
+    /// time and the protocol result.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        req: NfsRequest,
+    ) -> (SimTime, Result<NfsResponse, NfsError>) {
+        self.requests += 1;
+        let cpu = self.daemon.admit(now, req.service_cost());
+        let mut done = cpu.finish;
+        let result = match req {
+            NfsRequest::Lookup { dir, name } => self.fs.lookup(dir, &name).and_then(|h| {
+                let attr = self.fs.getattr(h)?;
+                Ok(NfsResponse::Handle(h, attr))
+            }),
+            NfsRequest::Getattr { fh } => self.fs.getattr(fh).map(NfsResponse::Attr),
+            NfsRequest::Read { fh, offset, len } => {
+                let len = len.min(NFS_BLOCK.as_u64());
+                match self.fs.read(fh, offset, len) {
+                    Ok(data) => {
+                        done = self.disk_touch(done, fh, offset, len, AccessKind::Read);
+                        Ok(NfsResponse::Data(data))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            NfsRequest::Write { fh, offset, data } => {
+                let len = data.len() as u64;
+                match self.fs.write(fh, offset, &data, now) {
+                    Ok(()) => {
+                        done = self.disk_touch(done, fh, offset, len, AccessKind::Write);
+                        let attr = self.fs.getattr(fh).expect("just wrote");
+                        Ok(NfsResponse::Written(attr))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            NfsRequest::Create { dir, name } => self.fs.create(dir, &name, now).and_then(|h| {
+                let attr = self.fs.getattr(h)?;
+                Ok(NfsResponse::Handle(h, attr))
+            }),
+            NfsRequest::Mkdir { dir, name } => self.fs.mkdir(dir, &name, now).and_then(|h| {
+                let attr = self.fs.getattr(h)?;
+                Ok(NfsResponse::Handle(h, attr))
+            }),
+            NfsRequest::Readdir { dir } => self.fs.readdir(dir).map(NfsResponse::Entries),
+            NfsRequest::Remove { dir, name } => self
+                .fs
+                .remove(dir, &name, now)
+                .map(|()| NfsResponse::Removed),
+        };
+        (done, result)
+    }
+
+    /// Charges disk time for the blocks a byte range touches. Blocks
+    /// are addressed per-file by mixing the handle into the block
+    /// address space so different files do not alias in the disk
+    /// cache.
+    fn disk_touch(
+        &mut self,
+        now: SimTime,
+        fh: FileHandle,
+        offset: u64,
+        len: u64,
+        kind: AccessKind,
+    ) -> SimTime {
+        if len == 0 {
+            return now;
+        }
+        let mut done = now;
+        for b in InMemoryFs::blocks_for_range(offset, len, NFS_BLOCK) {
+            let addr = gridvm_storage::block::BlockAddr(fh.0 << 40 | b.0);
+            let g = self.disk.access(done, addr, kind);
+            done = g.finish;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use gridvm_simcore::time::SimDuration;
+    use gridvm_storage::disk::DiskProfile;
+
+    fn server() -> NfsServer {
+        NfsServer::new(DiskModel::new(DiskProfile::ide_2003()))
+    }
+
+    #[test]
+    fn full_protocol_walk() {
+        let mut s = server();
+        let root = s.fs().root();
+        let (_, r) = s.handle(
+            SimTime::ZERO,
+            NfsRequest::Mkdir {
+                dir: root,
+                name: "home".into(),
+            },
+        );
+        let home = match r.unwrap() {
+            NfsResponse::Handle(h, attr) => {
+                assert!(attr.is_dir);
+                h
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        let (_, r) = s.handle(
+            SimTime::ZERO,
+            NfsRequest::Create {
+                dir: home,
+                name: "f".into(),
+            },
+        );
+        let f = match r.unwrap() {
+            NfsResponse::Handle(h, _) => h,
+            other => panic!("unexpected {other:?}"),
+        };
+        let (_, r) = s.handle(
+            SimTime::ZERO,
+            NfsRequest::Write {
+                fh: f,
+                offset: 0,
+                data: Bytes::from_static(b"grid"),
+            },
+        );
+        assert!(matches!(r.unwrap(), NfsResponse::Written(a) if a.size == 4));
+        let (_, r) = s.handle(
+            SimTime::ZERO,
+            NfsRequest::Read {
+                fh: f,
+                offset: 0,
+                len: 100,
+            },
+        );
+        assert!(matches!(r.unwrap(), NfsResponse::Data(d) if &d[..] == b"grid"));
+        let (_, r) = s.handle(SimTime::ZERO, NfsRequest::Readdir { dir: home });
+        assert!(matches!(r.unwrap(), NfsResponse::Entries(e) if e.len() == 1));
+        let (_, r) = s.handle(
+            SimTime::ZERO,
+            NfsRequest::Remove {
+                dir: home,
+                name: "f".into(),
+            },
+        );
+        assert!(matches!(r.unwrap(), NfsResponse::Removed));
+        assert_eq!(s.requests(), 6);
+    }
+
+    #[test]
+    fn lookup_failures_propagate() {
+        let mut s = server();
+        let root = s.fs().root();
+        let (_, r) = s.handle(
+            SimTime::ZERO,
+            NfsRequest::Lookup {
+                dir: root,
+                name: "ghost".into(),
+            },
+        );
+        assert!(matches!(r, Err(NfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn reads_cost_disk_time_once_then_cache() {
+        let mut s = server();
+        let root = s.fs().root();
+        let img = s
+            .fs_mut()
+            .create_synthetic(
+                root,
+                "img",
+                gridvm_simcore::units::ByteSize::from_mib(1),
+                3,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let (t1, _) = s.handle(
+            SimTime::ZERO,
+            NfsRequest::Read {
+                fh: img,
+                offset: 0,
+                len: 8192,
+            },
+        );
+        let (t2, _) = s.handle(
+            t1,
+            NfsRequest::Read {
+                fh: img,
+                offset: 0,
+                len: 8192,
+            },
+        );
+        let cold = t1.duration_since(SimTime::ZERO);
+        let warm = t2.duration_since(t1);
+        assert!(warm < cold, "cold {cold} vs warm {warm}");
+        assert!(cold > SimDuration::from_millis(5), "cold read pays a seek");
+    }
+
+    #[test]
+    fn oversized_read_is_clamped_to_nfs_block() {
+        let mut s = server();
+        let root = s.fs().root();
+        let img = s
+            .fs_mut()
+            .create_synthetic(
+                root,
+                "img",
+                gridvm_simcore::units::ByteSize::from_mib(1),
+                3,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let (_, r) = s.handle(
+            SimTime::ZERO,
+            NfsRequest::Read {
+                fh: img,
+                offset: 0,
+                len: 1 << 20,
+            },
+        );
+        match r.unwrap() {
+            NfsResponse::Data(d) => assert_eq!(d.len() as u64, NFS_BLOCK.as_u64()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_files_do_not_alias_in_cache() {
+        let mut s = server();
+        let root = s.fs().root();
+        let a = s.fs_mut().create(root, "a", SimTime::ZERO).unwrap();
+        let b = s.fs_mut().create(root, "b", SimTime::ZERO).unwrap();
+        s.fs_mut().write(a, 0, &[1u8; 8192], SimTime::ZERO).unwrap();
+        s.fs_mut().write(b, 0, &[2u8; 8192], SimTime::ZERO).unwrap();
+        let (t1, _) = s.handle(
+            SimTime::ZERO,
+            NfsRequest::Read {
+                fh: a,
+                offset: 0,
+                len: 8192,
+            },
+        );
+        // Reading b at the same offset must still be a cold miss.
+        let (t2, _) = s.handle(
+            t1,
+            NfsRequest::Read {
+                fh: b,
+                offset: 0,
+                len: 8192,
+            },
+        );
+        assert!(t2.duration_since(t1) > SimDuration::from_millis(5));
+    }
+}

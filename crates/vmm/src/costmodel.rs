@@ -1,0 +1,200 @@
+//! The virtualization cost model.
+//!
+//! Calibration targets, all from the paper:
+//!
+//! * Table 1 — VM user-time overhead between ~1% (SPECseis, low
+//!   memory pressure) and ~4% (SPECclimate, high pressure); VM
+//!   system time ≈ 3× native.
+//! * Figure 1 — slowdown under load stays ≤ ~10% on a dual-CPU host
+//!   because world switches and trapped guest context switches cost
+//!   tens of microseconds, not milliseconds.
+
+use gridvm_host::TaskSpec;
+use gridvm_simcore::time::SimDuration;
+use gridvm_simcore::units::CpuWork;
+
+/// Cost parameters of a classic trap-and-emulate VMM.
+#[derive(Clone, Copy, Debug)]
+pub struct VirtCostModel {
+    /// Base user-mode slowdown with zero memory pressure (binary
+    /// translation residue, timer virtualization).
+    pub user_base_overhead: f64,
+    /// Additional user-mode slowdown at full memory pressure
+    /// (shadow page-table maintenance).
+    pub user_pressure_overhead: f64,
+    /// Native cost of one system call.
+    pub syscall_native: SimDuration,
+    /// Multiplier a trapped syscall pays under the VMM.
+    pub sys_multiplier: f64,
+    /// Native kernel CPU per 8 KiB file-I/O block.
+    pub io_kernel_native_per_block: SimDuration,
+    /// CPU burned per world switch (host preempts the VMM).
+    pub world_switch: SimDuration,
+    /// Extra CPU per guest-internal context switch (privileged
+    /// instructions trapped and emulated).
+    pub guest_ctxsw: SimDuration,
+    /// User-level proxy CPU per 8 KiB block for PVFS remote I/O.
+    pub pvfs_client_per_block: SimDuration,
+    /// One-time VMM process/monitor setup when powering on a VM.
+    pub vm_create: SimDuration,
+    /// Monitor setup when restoring (no device cold-plug).
+    pub vm_restore_setup: SimDuration,
+}
+
+impl Default for VirtCostModel {
+    /// Values fitted to Table 1 / Figure 1 (see module docs).
+    fn default() -> Self {
+        VirtCostModel {
+            user_base_overhead: 0.005,
+            user_pressure_overhead: 0.044,
+            syscall_native: SimDuration::from_micros(5),
+            sys_multiplier: 3.16,
+            io_kernel_native_per_block: SimDuration::from_micros(10),
+            world_switch: SimDuration::from_micros(60),
+            guest_ctxsw: SimDuration::from_micros(25),
+            pvfs_client_per_block: SimDuration::from_micros(93),
+            vm_create: SimDuration::from_secs(3),
+            vm_restore_setup: SimDuration::from_millis(500),
+        }
+    }
+}
+
+impl VirtCostModel {
+    /// A cost model with *VM assists* applied — the paper's note that
+    /// "previous experience with successful VMM architectures has
+    /// shown that such overheads can be made smaller with
+    /// implementation optimizations. ... IBM's line of virtual
+    /// machines has evolved to implement performance-enhancing
+    /// techniques such as VM assists and in-memory network
+    /// hyper-sockets".
+    ///
+    /// Assists cut the trap-and-emulate multiplier (privileged-
+    /// operation handling partially in microcode/host fast paths),
+    /// halve the world-switch and guest-context-switch costs, and
+    /// reduce the shadow-paging tax.
+    pub fn with_assists(self) -> Self {
+        VirtCostModel {
+            user_base_overhead: self.user_base_overhead * 0.6,
+            user_pressure_overhead: self.user_pressure_overhead * 0.45,
+            sys_multiplier: 1.0 + (self.sys_multiplier - 1.0) * 0.4,
+            world_switch: self.world_switch.mul_f64(0.5),
+            guest_ctxsw: self.guest_ctxsw.mul_f64(0.5),
+            ..self
+        }
+    }
+
+    /// The user-mode work multiplier for a guest with the given
+    /// memory pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_pressure` is outside `[0, 1]`.
+    pub fn user_multiplier(&self, memory_pressure: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&memory_pressure),
+            "memory pressure {memory_pressure} outside [0,1]"
+        );
+        1.0 + self.user_base_overhead + self.user_pressure_overhead * memory_pressure
+    }
+
+    /// Cost of one syscall inside the VM.
+    pub fn syscall_vm(&self) -> SimDuration {
+        self.syscall_native.mul_f64(self.sys_multiplier)
+    }
+
+    /// Kernel CPU per I/O block inside the VM.
+    pub fn io_kernel_vm_per_block(&self) -> SimDuration {
+        self.io_kernel_native_per_block.mul_f64(self.sys_multiplier)
+    }
+
+    /// The per-reschedule overhead a VM-hosted task pays on the host:
+    /// a world switch plus one trapped guest context switch.
+    pub fn switch_overhead(&self) -> SimDuration {
+        self.world_switch + self.guest_ctxsw
+    }
+
+    /// Builds the host-level [`TaskSpec`] for a compute task of
+    /// `work` running inside a VM with the given memory pressure
+    /// (Figure 1's "test task on the virtual machine").
+    pub fn guest_task(&self, work: CpuWork, memory_pressure: f64) -> TaskSpec {
+        TaskSpec::compute(work)
+            .with_work_multiplier(self.user_multiplier(memory_pressure))
+            .with_switch_overhead(self.switch_overhead())
+    }
+
+    /// The host-level [`TaskSpec`] for the same task running
+    /// directly on the physical machine.
+    pub fn native_task(&self, work: CpuWork) -> TaskSpec {
+        TaskSpec::compute(work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_multiplier_brackets_table1() {
+        let m = VirtCostModel::default();
+        let seis = m.user_multiplier(0.11);
+        let climate = m.user_multiplier(0.80);
+        // Table 1: SPECseis user 16557/16395 = 1.0099,
+        //          SPECclimate 9679/9304 = 1.0403.
+        assert!((seis - 1.0099).abs() < 0.002, "seis multiplier {seis}");
+        assert!(
+            (climate - 1.0403).abs() < 0.003,
+            "climate multiplier {climate}"
+        );
+    }
+
+    #[test]
+    fn sys_multiplier_triples_kernel_costs() {
+        let m = VirtCostModel::default();
+        assert!(m.syscall_vm() > m.syscall_native.mul_f64(3.0));
+        assert!(m.io_kernel_vm_per_block() > m.io_kernel_native_per_block.mul_f64(3.0));
+    }
+
+    #[test]
+    fn switch_overhead_is_tens_of_microseconds() {
+        let m = VirtCostModel::default();
+        let s = m.switch_overhead();
+        assert!(s >= SimDuration::from_micros(20));
+        assert!(
+            s <= SimDuration::from_micros(500),
+            "must stay far below a 10 ms quantum"
+        );
+    }
+
+    #[test]
+    fn guest_task_composes_costs() {
+        let m = VirtCostModel::default();
+        let g = m.guest_task(CpuWork::from_cycles(1000), 0.5);
+        assert!(g.work_multiplier > 1.0);
+        assert_eq!(g.switch_overhead, m.switch_overhead());
+        let n = m.native_task(CpuWork::from_cycles(1000));
+        assert!((n.work_multiplier - 1.0).abs() < f64::EPSILON);
+        assert!(n.switch_overhead.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn pressure_is_validated() {
+        let _ = VirtCostModel::default().user_multiplier(1.5);
+    }
+
+    #[test]
+    fn assists_reduce_every_virtualization_cost() {
+        let base = VirtCostModel::default();
+        let assisted = VirtCostModel::default().with_assists();
+        assert!(assisted.user_multiplier(0.8) < base.user_multiplier(0.8));
+        assert!(assisted.user_multiplier(0.8) > 1.0, "still not free");
+        assert!(assisted.syscall_vm() < base.syscall_vm());
+        assert!(
+            assisted.syscall_vm() > assisted.syscall_native,
+            "traps still cost more than native"
+        );
+        assert!(assisted.switch_overhead() < base.switch_overhead());
+        // Native costs are untouched — assists only help the VMM path.
+        assert_eq!(assisted.syscall_native, base.syscall_native);
+    }
+}

@@ -1,0 +1,294 @@
+//! Running an application profile inside (or outside) a VM.
+//!
+//! Produces the `user / sys / wall` decomposition Table 1 reports:
+//!
+//! * **user** — the profile's work, inflated by the VMM's
+//!   shadow-paging multiplier when virtualized;
+//! * **sys** — syscall and per-block I/O kernel time (×~3 when
+//!   virtualized) plus, for remote grid-virtual-file-system storage,
+//!   the user-level proxy crossing per block;
+//! * **wall** — user + sys plus any I/O stall the storage cannot
+//!   overlap with computation (sequential scientific codes overlap
+//!   almost fully thanks to OS read-ahead and the PVFS prefetcher).
+
+use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::time::{SimDuration, SimTime};
+use gridvm_simcore::units::ByteSize;
+use gridvm_storage::block::BlockAddr;
+use gridvm_storage::disk::{AccessKind, DiskModel};
+use gridvm_workloads::{AppProfile, IoPattern};
+
+use crate::costmodel::VirtCostModel;
+
+/// The I/O unit of the execution model (matches the NFS transfer
+/// size).
+pub const IO_BLOCK: ByteSize = ByteSize::from_kib(8);
+
+/// Whether the application runs on the physical machine or inside a
+/// VM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Directly on the host OS.
+    Native,
+    /// Inside a classic VM.
+    Virtualized,
+}
+
+/// Storage a guest's file I/O lands on: the local virtual disk, or a
+/// mount of a grid virtual file system (adapter implemented in
+/// `gridvm-core` to keep this crate independent of the VFS stack).
+pub trait GuestStorage {
+    /// Performs a sequential run of `count` I/O blocks starting at
+    /// `start`, beginning at `now`; returns the completion time.
+    fn io_run(&mut self, now: SimTime, start: BlockAddr, count: u64, write: bool) -> SimTime;
+
+    /// Client-side CPU charged per block beyond guest-kernel costs
+    /// (zero for a local disk; the proxy crossing for PVFS).
+    fn client_cpu_per_block(&self) -> SimDuration;
+
+    /// Label for reports (e.g. `"local disk"`, `"PVFS"`).
+    fn label(&self) -> &str;
+}
+
+/// [`GuestStorage`] over a local [`DiskModel`].
+#[derive(Debug)]
+pub struct LocalDiskStorage<'a> {
+    disk: &'a mut DiskModel,
+}
+
+impl<'a> LocalDiskStorage<'a> {
+    /// Wraps a disk.
+    pub fn new(disk: &'a mut DiskModel) -> Self {
+        LocalDiskStorage { disk }
+    }
+}
+
+impl GuestStorage for LocalDiskStorage<'_> {
+    fn io_run(&mut self, now: SimTime, start: BlockAddr, count: u64, write: bool) -> SimTime {
+        // One 8 KiB I/O block = N disk blocks.
+        let per_io = IO_BLOCK.as_u64() / self.disk.profile().block_size.as_u64().max(1);
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        self.disk
+            .access_run(now, BlockAddr(start.0 * per_io), count * per_io, kind)
+            .finish
+    }
+
+    fn client_cpu_per_block(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    fn label(&self) -> &str {
+        "local disk"
+    }
+}
+
+/// The outcome of one application run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GuestRunReport {
+    /// User-mode CPU time.
+    pub user: SimDuration,
+    /// System (kernel + proxy) CPU time.
+    pub sys: SimDuration,
+    /// Wall-clock I/O replay time (before overlap accounting).
+    pub io_wall: SimDuration,
+    /// Total elapsed time.
+    pub wall: SimDuration,
+}
+
+impl GuestRunReport {
+    /// `user + sys`, the figure Table 1 totals.
+    pub fn cpu_total(&self) -> SimDuration {
+        self.user + self.sys
+    }
+
+    /// Overhead of this run relative to a baseline run, as a
+    /// fraction (Table 1's rightmost column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline has zero CPU time.
+    pub fn overhead_vs(&self, baseline: &GuestRunReport) -> f64 {
+        let b = baseline.cpu_total().as_secs_f64();
+        assert!(b > 0.0, "zero-time baseline");
+        self.cpu_total().as_secs_f64() / b - 1.0
+    }
+}
+
+/// Executes `app` at `hz` in the given mode against `storage`.
+///
+/// The run is deterministic given the profile and seed: the random
+/// I/O pattern derives from `rng`.
+pub fn run_app(
+    app: &AppProfile,
+    mode: ExecMode,
+    model: &VirtCostModel,
+    storage: &mut dyn GuestStorage,
+    hz: f64,
+    now: SimTime,
+    rng: &mut SimRng,
+) -> GuestRunReport {
+    // --- CPU accounting -------------------------------------------------
+    let user = match mode {
+        ExecMode::Native => app.user_work().at_rate(hz),
+        ExecMode::Virtualized => app
+            .user_work()
+            .at_rate(hz)
+            .mul_f64(model.user_multiplier(app.memory_pressure())),
+    };
+    let io_blocks = app.io_bytes().blocks(IO_BLOCK);
+    let (syscall_cost, io_kernel_cost) = match mode {
+        ExecMode::Native => (model.syscall_native, model.io_kernel_native_per_block),
+        ExecMode::Virtualized => (model.syscall_vm(), model.io_kernel_vm_per_block()),
+    };
+    let mut sys = syscall_cost * app.syscalls() + io_kernel_cost * io_blocks;
+    sys += storage.client_cpu_per_block() * io_blocks;
+
+    // --- I/O replay ------------------------------------------------------
+    let read_blocks = app.read_bytes().blocks(IO_BLOCK);
+    let write_blocks = app.write_bytes().blocks(IO_BLOCK);
+    let mut t = now;
+    match app.io_pattern() {
+        IoPattern::Sequential => {
+            // Stream reads then writes in 64-block (512 KiB) runs.
+            const RUN: u64 = 64;
+            let mut cursor = 0u64;
+            while cursor < read_blocks {
+                let len = RUN.min(read_blocks - cursor);
+                t = storage.io_run(t, BlockAddr(cursor), len, false);
+                cursor += len;
+            }
+            let mut wcursor = 0u64;
+            while wcursor < write_blocks {
+                let len = RUN.min(write_blocks - wcursor);
+                // Writes land beyond the read region.
+                t = storage.io_run(t, BlockAddr(read_blocks + wcursor), len, true);
+                wcursor += len;
+            }
+        }
+        IoPattern::Random => {
+            let span = (read_blocks + write_blocks).max(1) * 4;
+            for _ in 0..read_blocks {
+                t = storage.io_run(t, BlockAddr(rng.next_below(span)), 1, false);
+            }
+            for _ in 0..write_blocks {
+                t = storage.io_run(t, BlockAddr(rng.next_below(span)), 1, true);
+            }
+        }
+    }
+    let io_wall = t.duration_since(now);
+
+    // --- Overlap ----------------------------------------------------------
+    // Read-ahead (kernel and PVFS prefetcher) overlaps streaming I/O
+    // with computation; only I/O beyond the compute time stalls the
+    // application.
+    let stall = io_wall.saturating_sub(user);
+    let wall = user + sys + stall;
+    GuestRunReport {
+        user,
+        sys,
+        io_wall,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridvm_simcore::units::CpuWork;
+    use gridvm_storage::disk::DiskProfile;
+    use gridvm_workloads::spec;
+
+    fn disk() -> DiskModel {
+        DiskModel::new(DiskProfile::ide_2003())
+    }
+
+    fn run(app: &AppProfile, mode: ExecMode) -> GuestRunReport {
+        let mut d = disk();
+        let mut storage = LocalDiskStorage::new(&mut d);
+        run_app(
+            app,
+            mode,
+            &VirtCostModel::default(),
+            &mut storage,
+            spec::MACRO_CLOCK_HZ,
+            SimTime::ZERO,
+            &mut SimRng::seed_from(1),
+        )
+    }
+
+    #[test]
+    fn specseis_native_matches_table1() {
+        let r = run(&spec::specseis(), ExecMode::Native);
+        let user = r.user.as_secs_f64();
+        let sys = r.sys.as_secs_f64();
+        assert!((user - 16_395.0).abs() < 5.0, "seis native user {user}");
+        assert!((sys - 19.0).abs() < 4.0, "seis native sys {sys}");
+    }
+
+    #[test]
+    fn specseis_vm_overhead_is_about_one_percent() {
+        let native = run(&spec::specseis(), ExecMode::Native);
+        let vm = run(&spec::specseis(), ExecMode::Virtualized);
+        let overhead = vm.overhead_vs(&native);
+        assert!(
+            (0.005..0.025).contains(&overhead),
+            "seis VM overhead {overhead} (paper: 1.2%)"
+        );
+        let sys = vm.sys.as_secs_f64();
+        assert!((40.0..80.0).contains(&sys), "seis VM sys {sys} (paper: 60)");
+    }
+
+    #[test]
+    fn specclimate_vm_overhead_is_about_four_percent() {
+        let native = run(&spec::specclimate(), ExecMode::Native);
+        let vm = run(&spec::specclimate(), ExecMode::Virtualized);
+        let overhead = vm.overhead_vs(&native);
+        assert!(
+            (0.03..0.05).contains(&overhead),
+            "climate VM overhead {overhead} (paper: 4.0%)"
+        );
+        assert!((native.sys.as_secs_f64() - 3.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn io_overlaps_with_compute_for_cpu_bound_apps() {
+        let r = run(&spec::specseis(), ExecMode::Virtualized);
+        // SPECseis reads 7+ GiB but computes for hours: no stall.
+        assert_eq!(r.wall, r.user + r.sys, "io fully overlapped");
+        assert!(r.io_wall > SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn io_bound_app_stalls() {
+        // Tiny compute, lots of random I/O on a slow disk.
+        let app = AppProfile::new("io-hog", CpuWork::from_cycles(1000))
+            .with_reads(ByteSize::from_mib(64), IoPattern::Random)
+            .with_syscalls(100);
+        let r = run(&app, ExecMode::Native);
+        assert!(r.wall > r.cpu_total(), "random I/O cannot hide");
+        assert!(r.io_wall > SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn virtualized_sys_time_exceeds_native() {
+        let app =
+            AppProfile::new("sys-heavy", CpuWork::from_cycles(1_000_000)).with_syscalls(100_000);
+        let n = run(&app, ExecMode::Native);
+        let v = run(&app, ExecMode::Virtualized);
+        let ratio = v.sys.as_secs_f64() / n.sys.as_secs_f64();
+        assert!((2.8..3.6).contains(&ratio), "sys ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let app = AppProfile::new("rnd", CpuWork::from_cycles(1000))
+            .with_reads(ByteSize::from_mib(1), IoPattern::Random);
+        let a = run(&app, ExecMode::Native);
+        let b = run(&app, ExecMode::Native);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,78 @@
+//! Suspend/restore state sizing: "a running virtual machine can be
+//! suspended and resumed, providing a mechanism to migrate a running
+//! machine from resource to resource."
+//!
+//! A suspend image is the guest memory plus device state; restoring
+//! reads it back and re-arms the monitor. The actual transfer timing
+//! is composed by the caller (local disk, NFS mount, or a migration
+//! pipe); this module owns the *what*, not the *how fast*.
+
+use gridvm_simcore::units::ByteSize;
+
+use crate::machine::VmConfig;
+
+/// Device/monitor state beyond guest memory in a suspend image
+/// (VMware-era: device checkpoints, a few hundred KiB).
+pub const DEVICE_STATE: ByteSize = ByteSize::from_kib(384);
+
+/// A suspend (hibernation) image description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuspendImage {
+    /// Guest memory captured.
+    pub memory: ByteSize,
+    /// Device and monitor state.
+    pub device_state: ByteSize,
+}
+
+impl SuspendImage {
+    /// The suspend image a VM of this configuration produces.
+    pub fn for_config(config: &VmConfig) -> Self {
+        SuspendImage {
+            memory: config.memory,
+            device_state: DEVICE_STATE,
+        }
+    }
+
+    /// Total bytes that must be written on suspend / read on
+    /// restore.
+    pub fn total(&self) -> ByteSize {
+        self.memory + self.device_state
+    }
+
+    /// Number of I/O blocks of the given size the image occupies.
+    pub fn blocks(&self, block: ByteSize) -> u64 {
+        self.total().blocks(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::VmConfig;
+
+    #[test]
+    fn paper_guest_suspend_image_is_memory_plus_device_state() {
+        let img = SuspendImage::for_config(&VmConfig::paper_guest("rh72"));
+        assert_eq!(img.memory, ByteSize::from_mib(128));
+        assert_eq!(img.total(), ByteSize::from_mib(128) + DEVICE_STATE);
+    }
+
+    #[test]
+    fn block_count_rounds_up() {
+        let img = SuspendImage {
+            memory: ByteSize::from_bytes(10_000),
+            device_state: ByteSize::from_bytes(1),
+        };
+        assert_eq!(img.blocks(ByteSize::from_kib(8)), 2);
+    }
+
+    #[test]
+    fn bigger_vms_produce_bigger_images() {
+        let small = SuspendImage::for_config(&VmConfig::paper_guest("a"));
+        let big = SuspendImage::for_config(&VmConfig {
+            memory: ByteSize::from_mib(512),
+            ..VmConfig::paper_guest("b")
+        });
+        assert!(big.total() > small.total());
+    }
+}

@@ -1,0 +1,170 @@
+//! Network addressing newtypes: MAC addresses, IPv4 addresses and
+//! subnets.
+
+use std::fmt;
+
+/// A 48-bit Ethernet MAC address — what a freshly instantiated VM
+/// "appears to the network to be" (one or more new interface cards).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// A locally administered address derived from a VM ordinal
+    /// (`02:...` prefix: locally administered, unicast).
+    pub fn local(n: u64) -> Self {
+        let b = n.to_be_bytes();
+        MacAddr([0x02, 0x00, b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// An IPv4 address as a host-order `u32`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// Builds from dotted-quad octets.
+    pub fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The dotted-quad octets.
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// A CIDR subnet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Subnet {
+    base: Ipv4Addr,
+    prefix: u8,
+}
+
+impl Subnet {
+    /// Creates `base/prefix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix > 30` (no usable hosts) or the base has bits
+    /// below the mask.
+    pub fn new(base: Ipv4Addr, prefix: u8) -> Self {
+        assert!(prefix <= 30, "prefix /{prefix} leaves no usable hosts");
+        let mask = Subnet { base, prefix }.mask();
+        assert!(
+            base.0 & !mask == 0,
+            "base {base} has host bits set for /{prefix}"
+        );
+        Subnet { base, prefix }
+    }
+
+    /// The network mask as a `u32`.
+    pub fn mask(&self) -> u32 {
+        if self.prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.prefix)
+        }
+    }
+
+    /// The network base address.
+    pub fn base(&self) -> Ipv4Addr {
+        self.base
+    }
+
+    /// The prefix length.
+    pub fn prefix(&self) -> u8 {
+        self.prefix
+    }
+
+    /// Number of assignable host addresses (network and broadcast
+    /// excluded).
+    pub fn host_count(&self) -> u32 {
+        (1u32 << (32 - self.prefix)) - 2
+    }
+
+    /// The `n`-th assignable host address (1-based within the
+    /// subnet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or beyond [`host_count`](Subnet::host_count).
+    pub fn host(&self, n: u32) -> Ipv4Addr {
+        assert!(
+            n >= 1 && n <= self.host_count(),
+            "host index {n} outside subnet"
+        );
+        Ipv4Addr(self.base.0 + n)
+    }
+
+    /// Whether `addr` lies inside the subnet.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        addr.0 & self.mask() == self.base.0
+    }
+}
+
+impl fmt::Display for Subnet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.base, self.prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_formatting_and_derivation() {
+        let m = MacAddr::local(0x1234);
+        assert_eq!(m.to_string(), "02:00:00:00:12:34");
+        assert_ne!(MacAddr::local(1), MacAddr::local(2));
+    }
+
+    #[test]
+    fn ipv4_round_trip() {
+        let ip = Ipv4Addr::from_octets(192, 168, 7, 42);
+        assert_eq!(ip.to_string(), "192.168.7.42");
+        assert_eq!(ip.octets(), [192, 168, 7, 42]);
+    }
+
+    #[test]
+    fn subnet_membership_and_hosts() {
+        let net = Subnet::new(Ipv4Addr::from_octets(10, 0, 4, 0), 24);
+        assert_eq!(net.host_count(), 254);
+        assert_eq!(net.host(1), Ipv4Addr::from_octets(10, 0, 4, 1));
+        assert_eq!(net.host(254), Ipv4Addr::from_octets(10, 0, 4, 254));
+        assert!(net.contains(Ipv4Addr::from_octets(10, 0, 4, 200)));
+        assert!(!net.contains(Ipv4Addr::from_octets(10, 0, 5, 1)));
+        assert_eq!(net.to_string(), "10.0.4.0/24");
+    }
+
+    #[test]
+    #[should_panic(expected = "host bits")]
+    fn misaligned_base_panics() {
+        let _ = Subnet::new(Ipv4Addr::from_octets(10, 0, 4, 1), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside subnet")]
+    fn host_index_bounds() {
+        let net = Subnet::new(Ipv4Addr::from_octets(10, 0, 4, 0), 30);
+        let _ = net.host(3);
+    }
+}

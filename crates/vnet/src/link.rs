@@ -1,0 +1,169 @@
+//! Point-to-point network links with latency, bandwidth, queueing
+//! and an up/down state — the underlay the tunnels and overlay run
+//! over.
+
+use gridvm_simcore::server::{Pipe, ServiceGrant};
+use gridvm_simcore::time::{SimDuration, SimTime};
+use gridvm_simcore::units::{Bandwidth, ByteSize};
+
+/// Errors from link transmission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkError {
+    /// The link is administratively or physically down.
+    Down,
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "link is down")
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// A point-to-point link.
+///
+/// ```
+/// use gridvm_vnet::link::NetLink;
+/// use gridvm_simcore::time::{SimDuration, SimTime};
+/// use gridvm_simcore::units::{Bandwidth, ByteSize};
+///
+/// let mut l = NetLink::new(SimDuration::from_millis(5), Bandwidth::from_mbit_per_sec(100.0));
+/// let g = l.send(SimTime::ZERO, ByteSize::from_kib(1)).unwrap();
+/// assert!(g.finish > SimTime::ZERO);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetLink {
+    pipe: Pipe,
+    latency: SimDuration,
+    bandwidth: Bandwidth,
+    up: bool,
+}
+
+impl NetLink {
+    /// Creates an up link.
+    pub fn new(latency: SimDuration, bandwidth: Bandwidth) -> Self {
+        NetLink {
+            pipe: Pipe::new(latency, bandwidth),
+            latency,
+            bandwidth,
+            up: true,
+        }
+    }
+
+    /// One-way propagation latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Link bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Whether the link is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Takes the link down (failure injection).
+    pub fn set_down(&mut self) {
+        self.up = false;
+    }
+
+    /// Restores the link. The queue state survives (packets in
+    /// flight were lost, new ones queue fresh).
+    pub fn set_up(&mut self) {
+        self.up = true;
+    }
+
+    /// Degrades the link to a new latency/bandwidth (path
+    /// congestion); queued history is preserved.
+    pub fn degrade(&mut self, latency: SimDuration, bandwidth: Bandwidth) {
+        self.latency = latency;
+        self.bandwidth = bandwidth;
+        self.pipe = Pipe::new(latency, bandwidth);
+        // note: outstanding queue time is dropped; degradation in
+        // this model applies to subsequent traffic.
+    }
+
+    /// Transmits `size` bytes at `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Down`] when the link is down.
+    pub fn send(&mut self, now: SimTime, size: ByteSize) -> Result<ServiceGrant, LinkError> {
+        if !self.up {
+            return Err(LinkError::Down);
+        }
+        Ok(self.pipe.send(now, size))
+    }
+
+    /// Bytes carried so far.
+    pub fn bytes_sent(&self) -> ByteSize {
+        self.pipe.bytes_sent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_matches_latency_plus_serialization() {
+        let mut l = NetLink::new(
+            SimDuration::from_millis(10),
+            Bandwidth::from_mbit_per_sec(8.0),
+        );
+        // 1 MB at 1 MB/s (8 Mbit) = 1 s + 10 ms.
+        let g = l
+            .send(SimTime::ZERO, ByteSize::from_bytes(1_000_000))
+            .unwrap();
+        assert!((g.finish.as_secs_f64() - 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn down_links_reject_traffic() {
+        let mut l = NetLink::new(
+            SimDuration::from_millis(1),
+            Bandwidth::from_mbit_per_sec(10.0),
+        );
+        l.set_down();
+        assert!(!l.is_up());
+        assert_eq!(
+            l.send(SimTime::ZERO, ByteSize::from_bytes(100)),
+            Err(LinkError::Down)
+        );
+        l.set_up();
+        assert!(l.send(SimTime::ZERO, ByteSize::from_bytes(100)).is_ok());
+    }
+
+    #[test]
+    fn degradation_slows_subsequent_traffic() {
+        let mut l = NetLink::new(
+            SimDuration::from_millis(1),
+            Bandwidth::from_mbit_per_sec(100.0),
+        );
+        let fast = l.send(SimTime::ZERO, ByteSize::from_kib(100)).unwrap();
+        l.degrade(
+            SimDuration::from_millis(50),
+            Bandwidth::from_mbit_per_sec(1.0),
+        );
+        let slow = l.send(fast.finish, ByteSize::from_kib(100)).unwrap();
+        assert!(
+            slow.latency_from(fast.finish) > fast.latency_from(SimTime::ZERO) * 10,
+            "degraded link must be much slower"
+        );
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut l = NetLink::new(
+            SimDuration::from_millis(1),
+            Bandwidth::from_mbit_per_sec(10.0),
+        );
+        l.send(SimTime::ZERO, ByteSize::from_kib(4)).unwrap();
+        l.send(SimTime::ZERO, ByteSize::from_kib(4)).unwrap();
+        assert_eq!(l.bytes_sent(), ByteSize::from_kib(8));
+    }
+}

@@ -1,0 +1,380 @@
+//! The self-optimizing overlay among remote VMs — the "natural
+//! extension" of Section 3.3, in the style of Resilient Overlay
+//! Networks \[2\].
+//!
+//! Overlay nodes measure the underlay latency between each pair
+//! (probing), and route application traffic over the lowest-latency
+//! overlay path — possibly through intermediate VMs — re-optimizing
+//! whenever measurements change. The ablation bench compares direct
+//! underlay paths against overlay routing when a path degrades.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use gridvm_simcore::time::{SimDuration, SimTime};
+
+/// Identifies an overlay node (a VM or a user site).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// Errors from overlay operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OverlayError {
+    /// Node not part of the overlay.
+    UnknownNode(
+        /// The offending node.
+        NodeId,
+    ),
+    /// No path exists (partition).
+    Unreachable {
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+}
+
+impl std::fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverlayError::UnknownNode(n) => write!(f, "unknown overlay node {n}"),
+            OverlayError::Unreachable { from, to } => {
+                write!(f, "no overlay path from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+/// A computed overlay route.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// The node sequence, source first, destination last.
+    pub hops: Vec<NodeId>,
+    /// Total measured latency along the path.
+    pub latency: SimDuration,
+}
+
+impl Route {
+    /// Number of intermediate relay nodes.
+    pub fn relays(&self) -> usize {
+        self.hops.len().saturating_sub(2)
+    }
+}
+
+/// The overlay: nodes plus a mesh of measured pairwise latencies.
+///
+/// ```
+/// use gridvm_vnet::overlay::{NodeId, Overlay};
+/// use gridvm_simcore::time::{SimDuration, SimTime};
+///
+/// let mut ov = Overlay::new();
+/// let (a, b, c) = (ov.add_node(), ov.add_node(), ov.add_node());
+/// ov.update_measurement(a, b, SimDuration::from_millis(100));
+/// ov.update_measurement(a, c, SimDuration::from_millis(10));
+/// ov.update_measurement(c, b, SimDuration::from_millis(10));
+/// let route = ov.route(a, b)?;
+/// assert_eq!(route.hops, vec![a, c, b], "relay through c beats direct");
+/// # Ok::<(), gridvm_vnet::overlay::OverlayError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Overlay {
+    next_id: u32,
+    nodes: Vec<NodeId>,
+    /// Directed measured latency. Probes set both directions.
+    links: HashMap<(NodeId, NodeId), SimDuration>,
+    reroutes: u64,
+    last_routes: HashMap<(NodeId, NodeId), Vec<NodeId>>,
+}
+
+impl Overlay {
+    /// Creates an empty overlay.
+    pub fn new() -> Self {
+        Overlay::default()
+    }
+
+    /// Adds a node (a VM joining the overlay) and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        self.nodes.push(id);
+        id
+    }
+
+    /// Removes a node and every measurement touching it (VM
+    /// shutdown/migration away).
+    pub fn remove_node(&mut self, node: NodeId) {
+        self.nodes.retain(|n| *n != node);
+        self.links.retain(|(a, b), _| *a != node && *b != node);
+        self.last_routes
+            .retain(|(a, b), _| *a != node && *b != node);
+    }
+
+    /// The current node set.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Records a (symmetric) latency measurement between two nodes —
+    /// the result of a probe.
+    pub fn update_measurement(&mut self, a: NodeId, b: NodeId, latency: SimDuration) {
+        self.links.insert((a, b), latency);
+        self.links.insert((b, a), latency);
+    }
+
+    /// Marks the path between two nodes unusable (probe timed out).
+    pub fn mark_down(&mut self, a: NodeId, b: NodeId) {
+        self.links.remove(&(a, b));
+        self.links.remove(&(b, a));
+    }
+
+    /// The measured direct latency, if a usable measurement exists.
+    pub fn direct_latency(&self, a: NodeId, b: NodeId) -> Option<SimDuration> {
+        self.links.get(&(a, b)).copied()
+    }
+
+    /// Times the overlay has changed its answer for a pair.
+    pub fn reroutes(&self) -> u64 {
+        self.reroutes
+    }
+
+    /// Computes the minimum-latency route from `from` to `to`
+    /// (Dijkstra over the measurement mesh).
+    ///
+    /// # Errors
+    ///
+    /// Unknown nodes or no path.
+    pub fn route(&mut self, from: NodeId, to: NodeId) -> Result<Route, OverlayError> {
+        if !self.nodes.contains(&from) {
+            return Err(OverlayError::UnknownNode(from));
+        }
+        if !self.nodes.contains(&to) {
+            return Err(OverlayError::UnknownNode(to));
+        }
+        if from == to {
+            return Ok(Route {
+                hops: vec![from],
+                latency: SimDuration::ZERO,
+            });
+        }
+        let mut dist: HashMap<NodeId, SimDuration> = HashMap::new();
+        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut heap: BinaryHeap<std::cmp::Reverse<(SimDuration, NodeId)>> = BinaryHeap::new();
+        dist.insert(from, SimDuration::ZERO);
+        heap.push(std::cmp::Reverse((SimDuration::ZERO, from)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if dist.get(&u).is_some_and(|best| *best < d) {
+                continue;
+            }
+            if u == to {
+                break;
+            }
+            for ((a, b), w) in &self.links {
+                if *a != u {
+                    continue;
+                }
+                let nd = d + *w;
+                if dist.get(b).is_none_or(|best| nd < *best) {
+                    dist.insert(*b, nd);
+                    prev.insert(*b, u);
+                    heap.push(std::cmp::Reverse((nd, *b)));
+                }
+            }
+        }
+        let latency = *dist
+            .get(&to)
+            .ok_or(OverlayError::Unreachable { from, to })?;
+        let mut hops = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[&cur];
+            hops.push(cur);
+        }
+        hops.reverse();
+        // Track route changes for the self-optimization metric.
+        let key = (from, to);
+        if let Some(old) = self.last_routes.get(&key) {
+            if *old != hops {
+                self.reroutes += 1;
+            }
+        }
+        self.last_routes.insert(key, hops.clone());
+        Ok(Route { hops, latency })
+    }
+
+    /// Full-mesh probe convenience: installs `latency(a, b)` for all
+    /// pairs from a caller-provided measurement function.
+    pub fn probe_mesh<F>(&mut self, _now: SimTime, mut measure: F)
+    where
+        F: FnMut(NodeId, NodeId) -> Option<SimDuration>,
+    {
+        let nodes = self.nodes.clone();
+        for (i, a) in nodes.iter().enumerate() {
+            for b in &nodes[i + 1..] {
+                match measure(*a, *b) {
+                    Some(lat) => self.update_measurement(*a, *b, lat),
+                    None => self.mark_down(*a, *b),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn triangle() -> (Overlay, NodeId, NodeId, NodeId) {
+        let mut ov = Overlay::new();
+        let a = ov.add_node();
+        let b = ov.add_node();
+        let c = ov.add_node();
+        ov.update_measurement(a, b, ms(50));
+        ov.update_measurement(a, c, ms(10));
+        ov.update_measurement(c, b, ms(10));
+        (ov, a, b, c)
+    }
+
+    #[test]
+    fn direct_route_when_it_is_best() {
+        let (mut ov, a, b, _) = triangle();
+        ov.update_measurement(a, b, ms(5));
+        let r = ov.route(a, b).unwrap();
+        assert_eq!(r.hops, vec![a, b]);
+        assert_eq!(r.latency, ms(5));
+        assert_eq!(r.relays(), 0);
+    }
+
+    #[test]
+    fn relay_route_when_direct_is_slow() {
+        let (mut ov, a, b, c) = triangle();
+        let r = ov.route(a, b).unwrap();
+        assert_eq!(r.hops, vec![a, c, b]);
+        assert_eq!(r.latency, ms(20));
+        assert_eq!(r.relays(), 1);
+    }
+
+    #[test]
+    fn degradation_triggers_reroute() {
+        let (mut ov, a, b, _c) = triangle();
+        ov.update_measurement(a, b, ms(5));
+        let _ = ov.route(a, b).unwrap();
+        assert_eq!(ov.reroutes(), 0);
+        // The direct path congests: overlay self-optimizes.
+        ov.update_measurement(a, b, ms(500));
+        let r = ov.route(a, b).unwrap();
+        assert_eq!(r.relays(), 1);
+        assert_eq!(ov.reroutes(), 1);
+    }
+
+    #[test]
+    fn down_path_routes_around() {
+        let (mut ov, a, b, c) = triangle();
+        ov.mark_down(a, b);
+        let r = ov.route(a, b).unwrap();
+        assert_eq!(r.hops, vec![a, c, b]);
+    }
+
+    #[test]
+    fn partition_is_reported() {
+        let (mut ov, a, b, c) = triangle();
+        ov.mark_down(a, b);
+        ov.mark_down(a, c);
+        let err = ov.route(a, b).unwrap_err();
+        assert_eq!(err, OverlayError::Unreachable { from: a, to: b });
+        assert!(err.to_string().contains("no overlay path"));
+        let _ = c;
+    }
+
+    #[test]
+    fn unknown_and_self_routes() {
+        let (mut ov, a, _, _) = triangle();
+        assert!(matches!(
+            ov.route(a, NodeId(99)),
+            Err(OverlayError::UnknownNode(_))
+        ));
+        let r = ov.route(a, a).unwrap();
+        assert_eq!(r.hops, vec![a]);
+        assert_eq!(r.latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn node_removal_cleans_measurements() {
+        let (mut ov, a, b, c) = triangle();
+        ov.remove_node(c);
+        let r = ov.route(a, b).unwrap();
+        assert_eq!(r.hops, vec![a, b], "relay is gone, direct only");
+        assert_eq!(ov.nodes().len(), 2);
+    }
+
+    #[test]
+    fn probe_mesh_populates_all_pairs() {
+        let mut ov = Overlay::new();
+        let nodes: Vec<NodeId> = (0..5).map(|_| ov.add_node()).collect();
+        ov.probe_mesh(SimTime::ZERO, |a, b| Some(ms(u64::from(a.0 + b.0 + 1))));
+        for (i, a) in nodes.iter().enumerate() {
+            for b in &nodes[i + 1..] {
+                assert!(ov.direct_latency(*a, *b).is_some());
+            }
+        }
+        let r = ov.route(nodes[0], nodes[4]).unwrap();
+        assert!(!r.hops.is_empty());
+    }
+
+    #[test]
+    fn multi_hop_chains_compose() {
+        // A line topology: 0-1-2-3, no shortcuts.
+        let mut ov = Overlay::new();
+        let n: Vec<NodeId> = (0..4).map(|_| ov.add_node()).collect();
+        ov.update_measurement(n[0], n[1], ms(10));
+        ov.update_measurement(n[1], n[2], ms(10));
+        ov.update_measurement(n[2], n[3], ms(10));
+        let r = ov.route(n[0], n[3]).unwrap();
+        assert_eq!(r.hops.len(), 4);
+        assert_eq!(r.latency, ms(30));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The overlay route is never worse than the direct
+        /// measurement when one exists (self-optimization soundness).
+        #[test]
+        fn overlay_never_loses_to_direct(weights in proptest::collection::vec(1u64..1000, 15)) {
+            let mut ov = Overlay::new();
+            let nodes: Vec<NodeId> = (0..6).map(|_| ov.add_node()).collect();
+            let mut w = weights.into_iter();
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    if let Some(ms_w) = w.next() {
+                        ov.update_measurement(nodes[i], nodes[j], SimDuration::from_millis(ms_w));
+                    }
+                }
+            }
+            for i in 0..6 {
+                for j in 0..6 {
+                    if i == j { continue; }
+                    if let Some(direct) = ov.direct_latency(nodes[i], nodes[j]) {
+                        let r = ov.route(nodes[i], nodes[j]).unwrap();
+                        prop_assert!(r.latency <= direct,
+                            "route {:?} worse than direct {}", r, direct);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! SPEChpc calibrations for Table 1.
+//!
+//! Targets (paper, dual Pentium III/933 MHz, sequential runs):
+//!
+//! | app         | native user | native sys | VM user  | VM sys |
+//! |-------------|-------------|------------|----------|--------|
+//! | SPECseis    | 16 395 s    | 19 s       | 16 557 s | 60 s   |
+//! | SPECclimate | 9 304 s     | 3 s        | 9 679 s  | 5 s    |
+//!
+//! Decomposition used here (reproduced by the `table1_macro` bench
+//! together with the VMM cost model):
+//!
+//! * **User work** = native user seconds × 933 MHz cycles.
+//! * **System time** = syscall handling + per-block file-I/O kernel
+//!   work. SPECseis is I/O-heavy (≈ 7.3 GiB through the fs), which
+//!   is why its native sys (19 s) and PVFS overhead dominate;
+//!   SPECclimate is compute-bound with light I/O.
+//! * **Memory pressure** differentiates the VM *user* overhead:
+//!   SPECclimate's ≈ 4% versus SPECseis's ≈ 1% comes from
+//!   shadow-paging costs, modeled as pressure 0.80 vs 0.11.
+
+use gridvm_simcore::units::{ByteSize, CpuWork};
+
+use crate::profile::{AppProfile, IoPattern};
+
+/// The paper's macro-benchmark host clock (Pentium III/933).
+pub const MACRO_CLOCK_HZ: f64 = 933e6;
+
+/// SPECseis (seismic processing): 16 395 s of user work, ~1.9 M
+/// syscalls, ≈ 7.3 GiB of sequential file I/O, modest memory
+/// pressure.
+pub fn specseis() -> AppProfile {
+    AppProfile::new(
+        "SPECseis",
+        CpuWork::from_duration(
+            gridvm_simcore::time::SimDuration::from_secs(16_395),
+            MACRO_CLOCK_HZ,
+        ),
+    )
+    .with_syscalls(1_900_000)
+    .with_reads(ByteSize::from_gib(3), IoPattern::Sequential)
+    .with_writes(ByteSize::from_mib(4400))
+    .with_memory_pressure(0.11)
+}
+
+/// SPECclimate (climate modeling): 9 304 s of user work, ~0.56 M
+/// syscalls, ≈ 160 MiB of file I/O, high memory pressure.
+pub fn specclimate() -> AppProfile {
+    AppProfile::new(
+        "SPECclimate",
+        CpuWork::from_duration(
+            gridvm_simcore::time::SimDuration::from_secs(9_304),
+            MACRO_CLOCK_HZ,
+        ),
+    )
+    .with_syscalls(560_000)
+    .with_reads(ByteSize::from_mib(120), IoPattern::Sequential)
+    .with_writes(ByteSize::from_mib(40))
+    .with_memory_pressure(0.80)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seis_user_time_matches_table1() {
+        let p = specseis();
+        let t = p.native_user_time_at(MACRO_CLOCK_HZ).as_secs_f64();
+        assert!((t - 16_395.0).abs() < 1.0, "seis user {t}");
+    }
+
+    #[test]
+    fn climate_user_time_matches_table1() {
+        let p = specclimate();
+        let t = p.native_user_time_at(MACRO_CLOCK_HZ).as_secs_f64();
+        assert!((t - 9_304.0).abs() < 1.0, "climate user {t}");
+    }
+
+    #[test]
+    fn seis_is_io_heavy_climate_is_not() {
+        let seis = specseis();
+        let climate = specclimate();
+        assert!(seis.io_bytes() > ByteSize::from_gib(7));
+        assert!(climate.io_bytes() < ByteSize::from_mib(200));
+        assert!(seis.io_bytes().as_u64() > 40 * climate.io_bytes().as_u64());
+    }
+
+    #[test]
+    fn climate_has_higher_memory_pressure() {
+        assert!(specclimate().memory_pressure() > 5.0 * specseis().memory_pressure());
+    }
+}

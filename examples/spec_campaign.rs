@@ -1,0 +1,114 @@
+//! A SPEChpc campaign, the workload the paper's introduction
+//! motivates: computer-architecture/solid-state-style long-running
+//! simulations submitted to grid VMs. Runs SPECseis and SPECclimate
+//! on the physical machine, in a VM with local state, and in a VM
+//! with state over the PVFS wide-area virtual file system — the
+//! Table 1 comparison, at 1% scale so it finishes instantly.
+//!
+//! Run with: `cargo run --example spec_campaign`
+
+use gridvm::core::NfsGuestStorage;
+use gridvm::simcore::rng::SimRng;
+use gridvm::simcore::time::SimTime;
+use gridvm::simcore::units::ByteSize;
+use gridvm::storage::disk::{DiskModel, DiskProfile};
+use gridvm::vfs::mount::{Mount, Transport};
+use gridvm::vfs::proxy::{ProxyConfig, VfsProxy};
+use gridvm::vfs::server::NfsServer;
+use gridvm::vmm::exec::{run_app, ExecMode, LocalDiskStorage};
+use gridvm::vmm::VirtCostModel;
+use gridvm::workloads::{spec, AppProfile};
+
+/// Shrink a profile 100× (ratios are preserved).
+fn mini(app: &AppProfile) -> AppProfile {
+    AppProfile::new(app.name(), app.user_work().mul_f64(0.01))
+        .with_syscalls(app.syscalls() / 100)
+        .with_reads(
+            ByteSize::from_bytes(app.read_bytes().as_u64() / 100),
+            app.io_pattern(),
+        )
+        .with_writes(ByteSize::from_bytes(app.write_bytes().as_u64() / 100))
+        .with_memory_pressure(app.memory_pressure())
+}
+
+fn main() {
+    let model = VirtCostModel::default();
+    println!("SPEChpc campaign at 1% scale (overheads are scale-free)");
+    println!();
+
+    for app in [mini(&spec::specseis()), mini(&spec::specclimate())] {
+        // Physical machine.
+        let mut disk = DiskModel::new(DiskProfile::ide_2003());
+        let native = run_app(
+            &app,
+            ExecMode::Native,
+            &model,
+            &mut LocalDiskStorage::new(&mut disk),
+            spec::MACRO_CLOCK_HZ,
+            SimTime::ZERO,
+            &mut SimRng::seed_from(1),
+        );
+
+        // VM, local virtual disk.
+        let mut disk2 = DiskModel::new(DiskProfile::ide_2003());
+        let vm = run_app(
+            &app,
+            ExecMode::Virtualized,
+            &model,
+            &mut LocalDiskStorage::new(&mut disk2),
+            spec::MACRO_CLOCK_HZ,
+            SimTime::ZERO,
+            &mut SimRng::seed_from(1),
+        );
+
+        // VM, PVFS over the wide area (UF <-> Northwestern).
+        let mut server = NfsServer::new(DiskModel::new(DiskProfile::ide_2003()));
+        let root = server.fs().root();
+        let f = server
+            .fs_mut()
+            .create(root, "state", SimTime::ZERO)
+            .expect("fresh export");
+        server
+            .fs_mut()
+            .write(
+                f,
+                (app.io_bytes() + ByteSize::from_mib(1)).as_u64(),
+                &[0],
+                SimTime::ZERO,
+            )
+            .expect("presize");
+        let mount = Mount::new(
+            Transport::wan(),
+            server,
+            Some(VfsProxy::new(ProxyConfig::default())),
+        );
+        let mut pvfs = NfsGuestStorage::new(mount, f, model.pvfs_client_per_block, "PVFS");
+        let vm_pvfs = run_app(
+            &app,
+            ExecMode::Virtualized,
+            &model,
+            &mut pvfs,
+            spec::MACRO_CLOCK_HZ,
+            SimTime::ZERO,
+            &mut SimRng::seed_from(1),
+        );
+
+        println!("{}:", app.name());
+        println!(
+            "  physical       user+sys {:>9}  (baseline)",
+            native.cpu_total()
+        );
+        println!(
+            "  VM, local disk user+sys {:>9}  (+{:.1}%)",
+            vm.cpu_total(),
+            vm.overhead_vs(&native) * 100.0
+        );
+        println!(
+            "  VM, PVFS       user+sys {:>9}  (+{:.1}%)",
+            vm_pvfs.cpu_total(),
+            vm_pvfs.overhead_vs(&native) * 100.0
+        );
+        println!();
+    }
+    println!("paper (Table 1): seis +1.2% / +2.0%; climate +4.0% / +4.2%");
+}

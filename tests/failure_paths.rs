@@ -1,0 +1,187 @@
+//! Cross-crate failure injection: the architecture must fail loudly
+//! and consistently when authorization, capacity, connectivity or
+//! state-machine preconditions are violated.
+
+use gridvm::gridmw::accounts::{AccountError, AccountPool};
+use gridvm::gridmw::gram::{GramError, GramServer, JobRequest};
+use gridvm::sched::constraint::{compile, PolicyError};
+use gridvm::simcore::time::{SimDuration, SimTime};
+use gridvm::simcore::units::{Bandwidth, ByteSize};
+use gridvm::storage::block::{BlockAddr, BlockStore, StorageError};
+use gridvm::storage::disk::{DiskModel, DiskProfile};
+use gridvm::vfs::mount::{Mount, Transport};
+use gridvm::vfs::protocol::{NfsError, NfsRequest};
+use gridvm::vfs::server::NfsServer;
+use gridvm::vmm::machine::{Vm, VmConfig};
+use gridvm::vnet::addr::{Ipv4Addr, MacAddr, Subnet};
+use gridvm::vnet::dhcp::DhcpServer;
+use gridvm::vnet::link::NetLink;
+use gridvm::vnet::overlay::{Overlay, OverlayError};
+use gridvm::vnet::tunnel::{EthernetTunnel, Vpn, VpnError};
+
+#[test]
+fn unauthorized_user_cannot_start_vms() {
+    let mut gram = GramServer::new();
+    gram.authorize("/CN=alice");
+    let mallory = JobRequest {
+        executable: "vmware-start".into(),
+        subject: "/CN=mallory".into(),
+    };
+    match gram.submit(SimTime::ZERO, &mallory) {
+        Err(GramError::NotAuthorized(who)) => assert!(who.contains("mallory")),
+        other => panic!("expected authorization failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn overcommitted_owner_policy_never_compiles() {
+    let err = compile(
+        r#"
+        host cores 1;
+        owner reserve 0.5;
+        vm "a" realtime period 100ms slice 80ms;
+        "#,
+    )
+    .unwrap_err();
+    assert!(matches!(err, PolicyError::Overcommitted { .. }));
+    // The same absolute real-time demand fits a bigger host.
+    assert!(compile(
+        r#"
+        host cores 2;
+        owner reserve 0.5;
+        vm "a" realtime period 100ms slice 80ms;
+        "#
+    )
+    .is_ok());
+}
+
+#[test]
+fn address_exhaustion_surfaces_and_recovers() {
+    let mut dhcp = DhcpServer::new(
+        Subnet::new(Ipv4Addr::from_octets(10, 9, 9, 0), 30),
+        SimDuration::from_secs(10),
+    );
+    dhcp.acquire(SimTime::ZERO, MacAddr::local(1))
+        .expect("first");
+    dhcp.acquire(SimTime::ZERO, MacAddr::local(2))
+        .expect("second");
+    assert!(dhcp.acquire(SimTime::ZERO, MacAddr::local(3)).is_err());
+    // Leases expire; the pool recovers without intervention.
+    assert!(dhcp
+        .acquire(SimTime::from_secs(11), MacAddr::local(3))
+        .is_ok());
+}
+
+#[test]
+fn vpn_survives_tunnel_loss_reporting_cleanly() {
+    let dhcp = DhcpServer::new(
+        Subnet::new(Ipv4Addr::from_octets(192, 168, 0, 0), 24),
+        SimDuration::from_secs(600),
+    );
+    let mut vpn = Vpn::new(
+        EthernetTunnel::new(NetLink::new(
+            SimDuration::from_millis(20),
+            Bandwidth::from_mbit_per_sec(10.0),
+        )),
+        dhcp,
+    );
+    let (addr, t) = vpn.join(SimTime::ZERO, MacAddr::local(5)).expect("joins");
+    // The underlay dies mid-session.
+    vpn.tunnel_mut().underlay_mut().set_down();
+    let err = vpn
+        .send_home(t, MacAddr::local(5), ByteSize::from_kib(4))
+        .unwrap_err();
+    assert!(matches!(err, VpnError::Tunnel(_)));
+    // Membership (control-plane state) survives the outage, and the
+    // data plane recovers when the link comes back.
+    assert_eq!(vpn.address_of(MacAddr::local(5)), Some(addr));
+    vpn.tunnel_mut().underlay_mut().set_up();
+    assert!(vpn
+        .send_home(t, MacAddr::local(5), ByteSize::from_kib(4))
+        .is_ok());
+}
+
+#[test]
+fn stale_handles_fail_across_the_full_stack() {
+    let mut server = NfsServer::new(DiskModel::new(DiskProfile::ide_2003()));
+    let root = server.fs().root();
+    let f = server
+        .fs_mut()
+        .create(root, "doomed", SimTime::ZERO)
+        .expect("fresh");
+    server
+        .fs_mut()
+        .remove(root, "doomed", SimTime::ZERO)
+        .expect("removable");
+    let mut mount = Mount::new(Transport::lan(), server, None);
+    let (_, r) = mount.request(
+        SimTime::ZERO,
+        NfsRequest::Read {
+            fh: f,
+            offset: 0,
+            len: 10,
+        },
+    );
+    assert!(matches!(r, Err(NfsError::Stale(_))));
+}
+
+#[test]
+fn storage_bounds_hold_through_layers() {
+    let image = gridvm::storage::image::VmImage::redhat_guest("rh72");
+    let mut overlay = gridvm::storage::cow::CowOverlay::new(image.base_store());
+    let beyond = BlockAddr(image.disk_blocks());
+    assert!(matches!(
+        overlay.read(beyond),
+        Err(StorageError::OutOfRange { .. })
+    ));
+    assert!(matches!(
+        overlay.write(beyond, bytes::Bytes::from(vec![0u8; 4096])),
+        Err(StorageError::OutOfRange { .. })
+    ));
+}
+
+#[test]
+fn vm_state_machine_rejects_skipped_steps() {
+    let mut vm = Vm::new(VmConfig::paper_guest("rh72"));
+    assert!(
+        vm.mark_running(SimTime::ZERO).is_err(),
+        "cannot run unbooted"
+    );
+    assert!(
+        vm.begin_suspend(SimTime::ZERO).is_err(),
+        "cannot suspend off"
+    );
+    assert!(
+        vm.begin_migration(SimTime::ZERO).is_err(),
+        "cannot migrate off"
+    );
+    vm.terminate(SimTime::ZERO)
+        .expect("terminate from any live state");
+    assert!(
+        vm.begin_staging(SimTime::ZERO).is_err(),
+        "terminated is final"
+    );
+}
+
+#[test]
+fn account_pool_exhaustion_reports_and_recovers() {
+    let mut pool = AccountPool::new(&["g1"], SimDuration::from_secs(5));
+    pool.acquire(SimTime::ZERO, "/CN=a").expect("first");
+    assert_eq!(
+        pool.acquire(SimTime::ZERO, "/CN=b"),
+        Err(AccountError::PoolExhausted)
+    );
+    assert!(pool.acquire(SimTime::from_secs(6), "/CN=b").is_ok());
+}
+
+#[test]
+fn partitioned_overlay_reports_unreachable() {
+    let mut ov = Overlay::new();
+    let a = ov.add_node();
+    let b = ov.add_node();
+    // No measurements at all: partition.
+    assert_eq!(
+        ov.route(a, b),
+        Err(OverlayError::Unreachable { from: a, to: b })
+    );
+}
