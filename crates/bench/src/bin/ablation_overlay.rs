@@ -3,68 +3,80 @@
 //! VMs degrades, the self-optimizing overlay relays through a third
 //! VM; direct tunneling is stuck with the degraded path.
 
-use gridvm_bench::harness::{banner, render_table, Options};
-use gridvm_simcore::rng::SimRng;
+use gridvm_bench::harness::{
+    m, run_main, Experiment, ExperimentReport, Measurement, Options, SampleCtx, Scenario,
+};
+use gridvm_simcore::metrics;
 use gridvm_simcore::time::{SimDuration, SimTime};
 use gridvm_vnet::overlay::Overlay;
 
-fn main() {
-    let opts = Options::from_args();
-    banner(
-        "Ablation A3: overlay self-optimization vs direct paths",
-        &opts,
-    );
-    let mut rng = SimRng::seed_from(opts.seed);
+struct OverlayAblation {
+    /// Degradation factor of the direct path; 1 = healthy.
+    factors: [u64; 4],
+}
 
-    // Five VMs across sites; base mesh latencies 20-60 ms.
-    let mut ov = Overlay::new();
-    let nodes: Vec<_> = (0..5).map(|_| ov.add_node()).collect();
-    ov.probe_mesh(SimTime::ZERO, |a, b| {
-        Some(SimDuration::from_millis(
-            20 + (u64::from(a.0) * 7 + u64::from(b.0) * 13) % 41,
-        ))
-    });
-    let (src, dst) = (nodes[0], nodes[4]);
-    let healthy_direct = ov.direct_latency(src, dst).expect("mesh probed");
-    let healthy_route = ov.route(src, dst).expect("connected").latency;
-
-    // Degrade the direct path by 3x-20x and compare.
-    let mut rows = vec![vec![
-        "healthy".to_owned(),
-        format!("{:.0}", healthy_direct.as_secs_f64() * 1e3),
-        format!("{:.0}", healthy_route.as_secs_f64() * 1e3),
-        "1.00x".to_owned(),
-    ]];
-    for factor in [3u64, 8, 20] {
-        let degraded = healthy_direct * factor;
-        ov.update_measurement(src, dst, degraded);
-        // Background probe noise on other pairs keeps the mesh live.
-        let jitter_ms = rng.next_in(0, 3);
-        let _ = jitter_ms;
-        let route = ov.route(src, dst).expect("still connected");
-        rows.push(vec![
-            format!("direct degraded {factor}x"),
-            format!("{:.0}", degraded.as_secs_f64() * 1e3),
-            format!("{:.0}", route.latency.as_secs_f64() * 1e3),
-            format!(
-                "{:.2}x",
-                degraded.as_secs_f64() / route.latency.as_secs_f64()
-            ),
-        ]);
+impl Experiment for OverlayAblation {
+    fn title(&self) -> &str {
+        "Ablation A3: overlay self-optimization vs direct paths"
     }
-    println!(
-        "{}",
-        render_table(
-            &["condition", "direct (ms)", "overlay (ms)", "gain"],
-            &rows,
-            22
-        )
-    );
-    println!(
-        "reroutes performed: {} (overlay re-optimized itself as measurements changed)",
-        ov.reroutes()
-    );
-    println!(
-        "expected: overlay latency plateaus at the best relay path while direct keeps worsening"
-    );
+
+    fn scenarios(&self, _opts: &Options) -> Vec<Scenario> {
+        self.factors
+            .iter()
+            .enumerate()
+            .map(|(i, factor)| {
+                let label = if *factor == 1 {
+                    "healthy".to_owned()
+                } else {
+                    format!("direct degraded {factor}x")
+                };
+                Scenario::new(i, label, 1)
+            })
+            .collect()
+    }
+
+    fn run_sample(
+        &self,
+        scenario: &Scenario,
+        _ctx: &SampleCtx,
+        _opts: &Options,
+    ) -> Vec<Measurement> {
+        let factor = self.factors[scenario.index];
+        // Five VMs across sites; base mesh latencies 20-60 ms.
+        let mut ov = Overlay::new();
+        let nodes: Vec<_> = (0..5).map(|_| ov.add_node()).collect();
+        ov.probe_mesh(SimTime::ZERO, |a, b| {
+            Some(SimDuration::from_millis(
+                20 + (u64::from(a.0) * 7 + u64::from(b.0) * 13) % 41,
+            ))
+        });
+        let (src, dst) = (nodes[0], nodes[4]);
+        let healthy_direct = ov.direct_latency(src, dst).expect("mesh probed");
+        let direct = healthy_direct * factor;
+        if factor > 1 {
+            ov.update_measurement(src, dst, direct);
+        }
+        let route = ov.route(src, dst).expect("still connected");
+        metrics::counter_add("vnet.reroutes", ov.reroutes());
+        vec![
+            m("direct_ms", direct.as_secs_f64() * 1e3),
+            m("overlay_ms", route.latency.as_secs_f64() * 1e3),
+            m("gain_x", direct.as_secs_f64() / route.latency.as_secs_f64()),
+        ]
+    }
+
+    fn epilogue(&self, report: &ExperimentReport, _opts: &Options) -> Option<String> {
+        Some(format!(
+            "reroutes performed: {} (overlay re-optimized itself as measurements changed)\n\
+             expected: overlay latency plateaus at the best relay path while direct keeps \
+             worsening",
+            report.metrics.counter("vnet.reroutes")
+        ))
+    }
+}
+
+fn main() {
+    run_main(&OverlayAblation {
+        factors: [1, 3, 8, 20],
+    });
 }

@@ -8,7 +8,9 @@
 //! instance's worth of traffic; with it off, traffic and boot time
 //! scale with N.
 
-use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_bench::harness::{
+    m, run_main, Experiment, ExperimentReport, Measurement, Options, SampleCtx, Scenario,
+};
 use gridvm_simcore::time::SimTime;
 use gridvm_simcore::units::ByteSize;
 use gridvm_storage::disk::{DiskModel, DiskProfile};
@@ -18,17 +20,37 @@ use gridvm_vfs::proxy::{ProxyConfig, VfsProxy};
 use gridvm_vfs::server::NfsServer;
 use gridvm_vmm::boot::{boot_read_runs, BootProfile};
 
-fn main() {
-    let opts = Options::from_args();
-    banner(
-        "Ablation A1: proxy cache for shared master images (WAN image server)",
-        &opts,
-    );
-    let instances = if opts.quick { 3 } else { 8 };
-    let image = VmImage::redhat_guest("rh72");
+struct ProxyCacheAblation;
 
-    let mut rows = Vec::new();
-    for proxied in [false, true] {
+fn instances(opts: &Options) -> usize {
+    if opts.quick {
+        3
+    } else {
+        8
+    }
+}
+
+impl Experiment for ProxyCacheAblation {
+    fn title(&self) -> &str {
+        "Ablation A1: proxy cache for shared master images (WAN image server)"
+    }
+
+    fn scenarios(&self, _opts: &Options) -> Vec<Scenario> {
+        vec![
+            Scenario::new(0, "proxy cache OFF", 1),
+            Scenario::new(1, "proxy cache ON", 1),
+        ]
+    }
+
+    fn run_sample(
+        &self,
+        scenario: &Scenario,
+        _ctx: &SampleCtx,
+        opts: &Options,
+    ) -> Vec<Measurement> {
+        let proxied = scenario.index == 1;
+        let instances = instances(opts);
+        let image = VmImage::redhat_guest("rh72");
         // One image server exporting the master image over the WAN;
         // all instances on one compute server share the mount (and
         // thus the proxy).
@@ -72,30 +94,21 @@ fn main() {
         let first = per_instance[0];
         let rest_avg =
             per_instance[1..].iter().sum::<f64>() / (per_instance.len() - 1).max(1) as f64;
-        rows.push(vec![
-            if proxied {
-                "proxy cache ON"
-            } else {
-                "proxy cache OFF"
-            }
-            .to_owned(),
-            format!("{first:.1}"),
-            format!("{rest_avg:.1}"),
-            format!("{}", mount.rpcs_sent()),
-        ]);
+        vec![
+            m("first_instance_s", first),
+            m("rest_avg_s", rest_avg),
+            m("server_rpcs", mount.rpcs_sent() as f64),
+        ]
     }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "configuration",
-                "inst 1 (s)",
-                "inst 2..N avg",
-                "server RPCs"
-            ],
-            &rows,
-            20
-        )
-    );
-    println!("expected: ON cuts instance 2..N load time and server RPCs by ~{instances}x");
+
+    fn epilogue(&self, _report: &ExperimentReport, opts: &Options) -> Option<String> {
+        Some(format!(
+            "expected: ON cuts instance 2..N load time and server RPCs by ~{}x",
+            instances(opts)
+        ))
+    }
+}
+
+fn main() {
+    run_main(&ProxyCacheAblation);
 }

@@ -8,52 +8,51 @@
 //! local users. The constraint-language compiler picks EDF for
 //! policies with reserves; this bench shows why.
 
-use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_bench::harness::{
+    m, run_main, Experiment, ExperimentReport, Measurement, Options, SampleCtx, Scenario,
+};
 use gridvm_host::{HostConfig, HostSim, TaskSpec};
 use gridvm_sched::constraint::compile;
 use gridvm_sched::{SchedulerKind, TaskParams};
-use gridvm_simcore::rng::SimRng;
 use gridvm_simcore::time::SimDuration;
 use gridvm_simcore::units::CpuWork;
 
-fn main() {
-    let opts = Options::from_args();
-    banner(
-        "Ablation A2: owner protection across scheduler families",
-        &opts,
-    );
+struct SchedulerAblation;
 
-    // The owner policy the constraint language would compile.
-    let policy = compile(
-        r#"
-        host cores 1;
-        owner reserve 0.5;
-        vm "grid-vm" tickets 100;
-        "#,
-    )
-    .expect("valid policy");
-    println!(
-        "policy compiles to: {} (owner reserve {})",
-        policy.scheduler_kind(),
-        policy.owner_reserve
-    );
-    println!();
+fn owner_secs(opts: &Options) -> f64 {
+    if opts.quick {
+        1.0
+    } else {
+        4.0
+    }
+}
 
-    let cores = 1;
-    let hz = 800e6;
-    let owner_secs = if opts.quick { 1.0 } else { 4.0 };
-    let owner_work = CpuWork::from_duration(SimDuration::from_secs_f64(owner_secs), hz);
+impl Experiment for SchedulerAblation {
+    fn title(&self) -> &str {
+        "Ablation A2: owner protection across scheduler families"
+    }
 
-    let mut rows = Vec::new();
-    for kind in SchedulerKind::ALL {
+    fn scenarios(&self, _opts: &Options) -> Vec<Scenario> {
+        SchedulerKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| Scenario::new(i, kind.label(), 1))
+            .collect()
+    }
+
+    fn run_sample(&self, scenario: &Scenario, ctx: &SampleCtx, opts: &Options) -> Vec<Measurement> {
+        let kind = SchedulerKind::ALL[scenario.index];
+        let hz = 800e6;
+        let owner_secs = owner_secs(opts);
+        let owner_work = CpuWork::from_duration(SimDuration::from_secs_f64(owner_secs), hz);
         let mut host = HostSim::new(
             HostConfig {
-                cores,
+                cores: 1,
                 clock_hz: hz,
                 ..HostConfig::default()
             },
             kind.build(),
-            SimRng::seed_from(opts.seed),
+            ctx.rng(),
         );
         // Owner task: gets the policy's reservation under EDF, a
         // high weight elsewhere.
@@ -77,19 +76,36 @@ fn main() {
         let vm_out = host
             .run_until_complete(vm, SimDuration::from_secs(600))
             .expect("vm finishes");
-        let owner_slowdown = owner_out.wall_time().as_secs_f64() / owner_secs;
-        rows.push(vec![
-            kind.label().to_owned(),
-            format!("{:.2}x", owner_slowdown),
-            format!("{:.1}", vm_out.wall_time().as_secs_f64()),
-        ]);
+        vec![
+            m(
+                "owner_slowdown_x",
+                owner_out.wall_time().as_secs_f64() / owner_secs,
+            ),
+            m("vm_finish_s", vm_out.wall_time().as_secs_f64()),
+        ]
     }
-    println!(
-        "{}",
-        render_table(&["scheduler", "owner slowdown", "VM finish (s)"], &rows, 12)
-    );
-    println!(
-        "expected: EDF bounds the owner near its 50% reserve (~2x); \
-         fair-share families near 2x with equal weights; the VM still progresses (work-conserving)"
-    );
+
+    fn epilogue(&self, _report: &ExperimentReport, _opts: &Options) -> Option<String> {
+        // The owner policy the constraint language would compile.
+        let policy = compile(
+            r#"
+            host cores 1;
+            owner reserve 0.5;
+            vm "grid-vm" tickets 100;
+            "#,
+        )
+        .expect("valid policy");
+        Some(format!(
+            "policy compiles to: {} (owner reserve {})\n\
+             expected: EDF bounds the owner near its 50% reserve (~2x); \
+             fair-share families near 2x with equal weights; the VM still progresses \
+             (work-conserving)",
+            policy.scheduler_kind(),
+            policy.owner_reserve
+        ))
+    }
+}
+
+fn main() {
+    run_main(&SchedulerAblation);
 }

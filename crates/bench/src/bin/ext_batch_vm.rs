@@ -5,24 +5,32 @@
 //! and report what each does to makespan and average wait — the
 //! operational argument for non-persistent disks and warm restores.
 
-use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_bench::harness::{
+    m, run_main, Experiment, ExperimentReport, Measurement, Options, SampleCtx, Scenario,
+};
 use gridvm_gridmw::batch::{schedule, with_startup_overhead, BatchJob, QueuePolicy};
 use gridvm_simcore::rng::SimRng;
 use gridvm_simcore::time::{SimDuration, SimTime};
 
-fn main() {
-    let opts = Options::from_args();
-    banner(
-        "Extension E2: Table 2 startup modes as batch-throughput cost",
-        &opts,
-    );
-    let nodes = 8;
-    let job_count = if opts.quick { 16 } else { 64 };
+const NODES: usize = 8;
 
-    // The job mix: 1-4 nodes, 5-30 minutes, Poisson-ish arrivals.
+/// Startup prologues from Table 2 (measured means of this repo).
+const MODES: [(&str, f64); 5] = [
+    ("no VM (native queue)", 0.0),
+    ("VM-restore / DiskFS", 11.8),
+    ("VM-restore / LoopbackNFS", 23.6),
+    ("VM-reboot / DiskFS", 63.9),
+    ("VM-reboot / Persistent copy", 279.6),
+];
+
+/// The job mix: 1-4 nodes, 5-30 minutes, Poisson-ish arrivals. It is
+/// derived from the master seed alone so every startup mode schedules
+/// the identical mix.
+fn job_mix(opts: &Options) -> Vec<(SimTime, BatchJob)> {
+    let job_count = if opts.quick { 16 } else { 64 };
     let mut rng = SimRng::seed_from(opts.seed);
     let mut arrival = 0.0f64;
-    let base_jobs: Vec<(SimTime, BatchJob)> = (0..job_count)
+    (0..job_count)
         .map(|i| {
             arrival += rng.exponential(120.0);
             let job = BatchJob::new(
@@ -32,54 +40,66 @@ fn main() {
             );
             (SimTime::ZERO + SimDuration::from_secs_f64(arrival), job)
         })
-        .collect();
+        .collect()
+}
 
-    // Startup prologues from Table 2 (measured means of this repo).
-    let modes = [
-        ("no VM (native queue)", 0.0),
-        ("VM-restore / DiskFS", 11.8),
-        ("VM-restore / LoopbackNFS", 23.6),
-        ("VM-reboot / DiskFS", 63.9),
-        ("VM-reboot / Persistent copy", 279.6),
-    ];
+struct BatchVmExtension;
 
-    let mut rows = Vec::new();
-    let mut baseline_makespan = 0.0f64;
-    for (label, startup_secs) in modes {
+impl Experiment for BatchVmExtension {
+    fn title(&self) -> &str {
+        "Extension E2: Table 2 startup modes as batch-throughput cost"
+    }
+
+    fn scenarios(&self, _opts: &Options) -> Vec<Scenario> {
+        MODES
+            .iter()
+            .enumerate()
+            .map(|(i, (label, _))| Scenario::new(i, *label, 1))
+            .collect()
+    }
+
+    fn run_sample(
+        &self,
+        scenario: &Scenario,
+        _ctx: &SampleCtx,
+        opts: &Options,
+    ) -> Vec<Measurement> {
+        let (_, startup_secs) = MODES[scenario.index];
         let startup = SimDuration::from_secs_f64(startup_secs);
-        let jobs: Vec<(SimTime, BatchJob)> = base_jobs
+        let jobs: Vec<(SimTime, BatchJob)> = job_mix(opts)
             .iter()
             .map(|(t, j)| (*t, with_startup_overhead(j, startup)))
             .collect();
-        let out = schedule(&jobs, nodes, QueuePolicy::EasyBackfill).expect("mix fits the machine");
+        let out = schedule(&jobs, NODES, QueuePolicy::EasyBackfill).expect("mix fits the machine");
         let makespan = out
             .iter()
             .map(|o| o.finished.as_secs_f64())
             .fold(0.0, f64::max);
         let avg_wait = out.iter().map(|o| o.wait().as_secs_f64()).sum::<f64>() / out.len() as f64;
-        if startup_secs == 0.0 {
-            baseline_makespan = makespan;
-        }
-        rows.push(vec![
-            label.to_owned(),
-            format!("{:.1}", makespan / 3600.0),
-            format!("{avg_wait:.0}"),
-            format!("{:+.1}%", (makespan / baseline_makespan - 1.0) * 100.0),
-        ]);
+        vec![
+            m("makespan_h", makespan / 3600.0),
+            m("avg_wait_s", avg_wait),
+        ]
     }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "instantiation mode",
-                "makespan (h)",
-                "avg wait (s)",
-                "vs native"
-            ],
-            &rows,
-            30
-        )
-    );
-    println!("expected: warm restores cost a few percent of throughput — the price of");
-    println!("VM isolation; persistent copies are operationally untenable for short jobs");
+
+    fn epilogue(&self, report: &ExperimentReport, _opts: &Options) -> Option<String> {
+        let baseline = report.scenario(MODES[0].0)?.mean("makespan_h");
+        let mut out = String::new();
+        for s in &report.scenarios {
+            out.push_str(&format!(
+                "{:<30} makespan vs native: {:+.1}%\n",
+                s.scenario.label,
+                (s.mean("makespan_h") / baseline - 1.0) * 100.0
+            ));
+        }
+        out.push_str(
+            "expected: warm restores cost a few percent of throughput — the price of\n\
+             VM isolation; persistent copies are operationally untenable for short jobs",
+        );
+        Some(out)
+    }
+}
+
+fn main() {
+    run_main(&BatchVmExtension);
 }

@@ -6,58 +6,76 @@
 //! how per-VM startup latency degrades with K — the number a
 //! provider needs before advertising slot counts.
 
-use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_bench::harness::{
+    m, run_main, Experiment, ExperimentReport, Measurement, Options, SampleCtx, Scenario,
+};
 use gridvm_core::server::ComputeServer;
 use gridvm_core::startup::{run_startup_at, StartupConfig, StartupMode, StateAccess};
-use gridvm_simcore::rng::SimRng;
 use gridvm_simcore::stats::OnlineStats;
 use gridvm_simcore::time::SimTime;
 use gridvm_vmm::machine::DiskMode;
 
-fn main() {
-    let opts = Options::from_args();
-    banner(
-        "Extension E4: concurrent VM instantiation on one host",
-        &opts,
-    );
-    let cfg = StartupConfig::table2(
-        StartupMode::Restore,
-        DiskMode::NonPersistent,
-        StateAccess::DiskFs,
-    );
+const BURSTS: [usize; 4] = [1, 2, 4, 8];
 
-    let mut rows = Vec::new();
-    let mut solo_mean = 0.0;
-    for k in [1usize, 2, 4, 8] {
+struct ContentionExtension;
+
+impl Experiment for ContentionExtension {
+    fn title(&self) -> &str {
+        "Extension E4: concurrent VM instantiation on one host"
+    }
+
+    fn scenarios(&self, _opts: &Options) -> Vec<Scenario> {
+        BURSTS
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Scenario::new(i, format!("{k} concurrent"), 1))
+            .collect()
+    }
+
+    fn run_sample(
+        &self,
+        scenario: &Scenario,
+        ctx: &SampleCtx,
+        _opts: &Options,
+    ) -> Vec<Measurement> {
+        let k = BURSTS[scenario.index];
+        let cfg = StartupConfig::table2(
+            StartupMode::Restore,
+            DiskMode::NonPersistent,
+            StateAccess::DiskFs,
+        );
         // One shared server: the gatekeeper and disk serialize the
         // burst; each VM's own state read still happens per VM.
         let mut server = ComputeServer::paper_node("burst-host");
-        let root = SimRng::seed_from(opts.seed).split(&format!("k{k}"));
+        let root = ctx.rng();
         let mut stats = OnlineStats::new();
         for i in 0..k {
             let mut rng = root.split(&format!("vm{i}"));
             let b = run_startup_at(&mut server, &cfg, &mut rng, SimTime::ZERO);
             stats.record(b.total_secs());
         }
-        if k == 1 {
-            solo_mean = stats.mean();
-        }
-        rows.push(vec![
-            format!("{k} concurrent"),
-            format!("{:.1}", stats.mean()),
-            format!("{:.1}", stats.max()),
-            format!("{:.2}x", stats.max() / solo_mean),
-        ]);
+        vec![m("mean_s", stats.mean()), m("worst_s", stats.max())]
     }
-    println!(
-        "{}",
-        render_table(
-            &["burst size", "mean (s)", "worst (s)", "worst vs solo"],
-            &rows,
-            16
-        )
-    );
-    println!("expected: the gatekeeper (auth+dispatch ≈ 2.8 s/job) and the shared disk");
-    println!("stretch the tail roughly linearly — the provider should advertise");
-    println!("VM-future slots accordingly");
+
+    fn epilogue(&self, report: &ExperimentReport, _opts: &Options) -> Option<String> {
+        let solo = report.scenario("1 concurrent")?.mean("mean_s");
+        let mut out = String::new();
+        for s in &report.scenarios {
+            out.push_str(&format!(
+                "{:<14} worst vs solo: {:.2}x\n",
+                s.scenario.label,
+                s.mean("worst_s") / solo
+            ));
+        }
+        out.push_str(
+            "expected: the gatekeeper (auth+dispatch ≈ 2.8 s/job) and the shared disk\n\
+             stretch the tail roughly linearly — the provider should advertise\n\
+             VM-future slots accordingly",
+        );
+        Some(out)
+    }
+}
+
+fn main() {
+    run_main(&ContentionExtension);
 }

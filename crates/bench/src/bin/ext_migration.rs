@@ -4,10 +4,11 @@
 //! re-establish the virtual-file-system sessions. We sweep network
 //! speed and dirty-state volume and report the phase breakdown.
 
-use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_bench::harness::{
+    m, run_main, Experiment, ExperimentReport, Measurement, Options, SampleCtx, Scenario,
+};
 use gridvm_core::migration::migrate;
 use gridvm_core::server::ComputeServer;
-use gridvm_simcore::rng::SimRng;
 use gridvm_simcore::server::Pipe;
 use gridvm_simcore::time::{SimDuration, SimTime};
 use gridvm_simcore::units::Bandwidth;
@@ -15,6 +16,13 @@ use gridvm_storage::block::{BlockAddr, BlockStore};
 use gridvm_storage::cow::CowOverlay;
 use gridvm_storage::image::VmImage;
 use gridvm_vmm::machine::{Vm, VmConfig};
+
+const NETS: [(&str, f64); 3] = [
+    ("WAN 20Mb", 20.0),
+    ("LAN 100Mb", 100.0),
+    ("LAN 1Gb", 1000.0),
+];
+const DIRTY_MIB: [u64; 3] = [0, 64, 256];
 
 fn running_vm(dirty_mib: u64) -> Vm {
     let mut vm = Vm::new(VmConfig::paper_guest("rh72"));
@@ -32,52 +40,65 @@ fn running_vm(dirty_mib: u64) -> Vm {
     vm
 }
 
-fn main() {
-    let opts = Options::from_args();
-    banner("Extension E1: whole-environment migration", &opts);
+struct MigrationExtension;
 
-    let mut rows = Vec::new();
-    for (net_label, mbps) in [
-        ("WAN 20Mb", 20.0),
-        ("LAN 100Mb", 100.0),
-        ("LAN 1Gb", 1000.0),
-    ] {
-        for dirty_mib in [0u64, 64, 256] {
-            let mut vm = running_vm(if opts.quick { dirty_mib / 4 } else { dirty_mib });
-            let mut src = ComputeServer::paper_node("src");
-            let mut dst = ComputeServer::paper_node("dst");
-            let mut wire = Pipe::new(
-                SimDuration::from_millis(if mbps < 50.0 { 17 } else { 1 }),
-                Bandwidth::from_mbit_per_sec(mbps),
-            );
-            let mut rng = SimRng::seed_from(opts.seed ^ dirty_mib ^ (mbps as u64));
-            let r = migrate(
-                &mut vm,
-                &mut src,
-                &mut dst,
-                &mut wire,
-                SimTime::from_secs(10),
-                &mut rng,
-            )
-            .expect("running VM migrates");
-            rows.push(vec![
-                format!("{net_label}, {dirty_mib} MiB dirty"),
-                format!("{:.1}", r.suspend.as_secs_f64()),
-                format!("{:.1}", r.transfer.as_secs_f64()),
-                format!("{:.1}", r.resume.as_secs_f64()),
-                format!("{:.1}", r.downtime().as_secs_f64()),
-                format!("{}", r.bytes_moved),
-            ]);
-        }
+impl Experiment for MigrationExtension {
+    fn title(&self) -> &str {
+        "Extension E1: whole-environment migration"
     }
-    println!(
-        "{}",
-        render_table(
-            &["scenario", "suspend", "transfer", "resume", "downtime", "moved"],
-            &rows,
-            26
+
+    fn scenarios(&self, _opts: &Options) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for (net_label, _) in NETS {
+            for dirty_mib in DIRTY_MIB {
+                let i = out.len();
+                out.push(Scenario::new(
+                    i,
+                    format!("{net_label}, {dirty_mib} MiB dirty"),
+                    1,
+                ));
+            }
+        }
+        out
+    }
+
+    fn run_sample(&self, scenario: &Scenario, ctx: &SampleCtx, opts: &Options) -> Vec<Measurement> {
+        let (_, mbps) = NETS[scenario.index / DIRTY_MIB.len()];
+        let dirty_mib = DIRTY_MIB[scenario.index % DIRTY_MIB.len()];
+        let mut vm = running_vm(if opts.quick { dirty_mib / 4 } else { dirty_mib });
+        let mut src = ComputeServer::paper_node("src");
+        let mut dst = ComputeServer::paper_node("dst");
+        let mut wire = Pipe::new(
+            SimDuration::from_millis(if mbps < 50.0 { 17 } else { 1 }),
+            Bandwidth::from_mbit_per_sec(mbps),
+        );
+        let r = migrate(
+            &mut vm,
+            &mut src,
+            &mut dst,
+            &mut wire,
+            SimTime::from_secs(10),
+            &mut ctx.rng(),
         )
-    );
-    println!("expected: transfer scales with dirty state and inversely with bandwidth;");
-    println!("suspend/resume are bandwidth-independent (local disk bound)");
+        .expect("running VM migrates");
+        vec![
+            m("suspend_s", r.suspend.as_secs_f64()),
+            m("transfer_s", r.transfer.as_secs_f64()),
+            m("resume_s", r.resume.as_secs_f64()),
+            m("downtime_s", r.downtime().as_secs_f64()),
+            m("moved_bytes", r.bytes_moved.as_u64() as f64),
+        ]
+    }
+
+    fn epilogue(&self, _report: &ExperimentReport, _opts: &Options) -> Option<String> {
+        Some(
+            "expected: transfer scales with dirty state and inversely with bandwidth;\n\
+             suspend/resume are bandwidth-independent (local disk bound)"
+                .to_owned(),
+        )
+    }
+}
+
+fn main() {
+    run_main(&MigrationExtension);
 }

@@ -7,58 +7,80 @@
 //! reproducing the qualitative result of the RPS papers: AR wins at
 //! short horizons, converges to the mean at long ones.
 
-use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_bench::harness::{
+    m, run_main, Experiment, ExperimentReport, Measurement, Options, SampleCtx, Scenario,
+};
 use gridvm_gridmw::rps::ArPredictor;
 use gridvm_hostload::{LoadLevel, TraceGenerator};
-use gridvm_simcore::rng::SimRng;
 use gridvm_simcore::stats::OnlineStats;
 
-fn main() {
-    let opts = Options::from_args();
-    banner("Extension E3: RPS AR prediction vs naive baselines", &opts);
-    let evals = opts.samples_or(if opts.quick { 100 } else { 600 });
+const LEVELS: [LoadLevel; 2] = [LoadLevel::Light, LoadLevel::Heavy];
+const HORIZONS: [usize; 3] = [1, 10, 60];
 
-    let mut rows = Vec::new();
-    for level in [LoadLevel::Light, LoadLevel::Heavy] {
-        for horizon in [1usize, 10, 60] {
-            let mut rng = SimRng::seed_from(opts.seed).split(&format!("{level}/{horizon}"));
-            let trace = TraceGenerator::preset(level).generate(4096 + evals + horizon, &mut rng);
-            let xs = trace.samples();
-            let long_mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+struct RpsEvalExtension;
 
-            let mut predictor = ArPredictor::new(2, 2048);
-            let mut ar_err = OnlineStats::new();
-            let mut last_err = OnlineStats::new();
-            let mut mean_err = OnlineStats::new();
-            for (i, x) in xs.iter().enumerate() {
-                if i + horizon < xs.len() && i >= 512 && i < 512 + evals {
-                    let truth = xs[i + horizon];
-                    if let Ok(model) = predictor.fit() {
-                        let pred = predictor.predict(&model, horizon)[horizon - 1].mean;
-                        ar_err.record((pred - truth).abs());
-                        last_err.record((x - truth).abs());
-                        mean_err.record((long_mean - truth).abs());
-                    }
-                }
-                predictor.observe(*x);
-            }
-            rows.push(vec![
-                format!("{level} load, horizon {horizon}s"),
-                format!("{:.3}", ar_err.mean()),
-                format!("{:.3}", last_err.mean()),
-                format!("{:.3}", mean_err.mean()),
-            ]);
-        }
+impl Experiment for RpsEvalExtension {
+    fn title(&self) -> &str {
+        "Extension E3: RPS AR prediction vs naive baselines"
     }
-    println!(
-        "{}",
-        render_table(
-            &["scenario", "AR(2) MAE", "last-value", "long mean"],
-            &rows,
-            28
+
+    fn scenarios(&self, _opts: &Options) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for level in LEVELS {
+            for horizon in HORIZONS {
+                let i = out.len();
+                out.push(Scenario::new(
+                    i,
+                    format!("{level} load, horizon {horizon}s"),
+                    1,
+                ));
+            }
+        }
+        out
+    }
+
+    fn run_sample(&self, scenario: &Scenario, ctx: &SampleCtx, opts: &Options) -> Vec<Measurement> {
+        let level = LEVELS[scenario.index / HORIZONS.len()];
+        let horizon = HORIZONS[scenario.index % HORIZONS.len()];
+        let evals = opts.samples_or(if opts.quick { 100 } else { 600 });
+        let mut rng = ctx.rng();
+        let trace = TraceGenerator::preset(level).generate(4096 + evals + horizon, &mut rng);
+        let xs = trace.samples();
+        let long_mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+
+        let mut predictor = ArPredictor::new(2, 2048);
+        let mut ar_err = OnlineStats::new();
+        let mut last_err = OnlineStats::new();
+        let mut mean_err = OnlineStats::new();
+        for (i, x) in xs.iter().enumerate() {
+            if i + horizon < xs.len() && i >= 512 && i < 512 + evals {
+                let truth = xs[i + horizon];
+                if let Ok(model) = predictor.fit() {
+                    let pred = predictor.predict(&model, horizon)[horizon - 1].mean;
+                    ar_err.record((pred - truth).abs());
+                    last_err.record((x - truth).abs());
+                    mean_err.record((long_mean - truth).abs());
+                }
+            }
+            predictor.observe(*x);
+        }
+        vec![
+            m("ar2_mae", ar_err.mean()),
+            m("last_value_mae", last_err.mean()),
+            m("long_mean_mae", mean_err.mean()),
+        ]
+    }
+
+    fn epilogue(&self, _report: &ExperimentReport, _opts: &Options) -> Option<String> {
+        Some(
+            "expected: at 1s the persistence baseline (last value) is near-optimal for\n\
+             a near-random-walk load; AR(2) overtakes it by 10s and dominates at 60s,\n\
+             where the long-run mean is the only other competitive predictor"
+                .to_owned(),
         )
-    );
-    println!("expected: at 1s the persistence baseline (last value) is near-optimal for");
-    println!("a near-random-walk load; AR(2) overtakes it by 10s and dominates at 60s,");
-    println!("where the long-run mean is the only other competitive predictor");
+    }
+}
+
+fn main() {
+    run_main(&RpsEvalExtension);
 }

@@ -10,12 +10,12 @@
 //! see a typical slowdown of 10% or less when running on the virtual
 //! machine case."*
 
-use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_bench::harness::{
+    m, run_main, Experiment, ExperimentReport, Measurement, Options, SampleCtx, Scenario,
+};
 use gridvm_host::{HostConfig, HostSim, TaskSpec};
 use gridvm_hostload::{LoadLevel, TraceGenerator, TracePlayback};
 use gridvm_sched::SchedulerKind;
-use gridvm_simcore::rng::SimRng;
-use gridvm_simcore::stats::OnlineStats;
 use gridvm_simcore::time::SimDuration;
 use gridvm_simcore::units::CpuWork;
 use gridvm_vmm::VirtCostModel;
@@ -36,100 +36,109 @@ impl Placement {
     }
 }
 
-fn main() {
-    let opts = Options::from_args();
-    banner(
-        "Figure 1: microbenchmark slowdown under background load",
-        &opts,
-    );
-    let samples = opts.samples_or(if opts.quick { 40 } else { 1000 });
-    let model = VirtCostModel::default();
-    let config = HostConfig::default(); // dual PIII/800
-    let test_seconds = 3.0;
-    let test_work =
-        CpuWork::from_duration(SimDuration::from_secs_f64(test_seconds), config.clock_hz);
-
-    let mut rows = Vec::new();
-    let mut vm_test_max: f64 = 0.0;
-    for level in LoadLevel::ALL {
-        for load_place in [Placement::Physical, Placement::Vm] {
-            for test_place in [Placement::Physical, Placement::Vm] {
-                let label = format!(
-                    "{:5} load, load on {:4}, test on {:4}",
-                    level.label(),
-                    load_place.label(),
-                    test_place.label()
-                );
-                let root = SimRng::seed_from(opts.seed)
-                    .split(&format!("{level}/{load_place:?}/{test_place:?}"));
-                let mut stats = OnlineStats::new();
-                for sample in 0..samples {
-                    let mut rng = root.split(&format!("sample-{sample}"));
-                    let slow = one_sample(
-                        &config, &model, level, load_place, test_place, test_work, &mut rng,
-                    );
-                    stats.record(slow);
-                }
-                if test_place == Placement::Vm {
-                    vm_test_max = vm_test_max.max(stats.mean());
-                }
-                rows.push(vec![
-                    label,
-                    format!("{:.4}", stats.mean()),
-                    format!("{:.4}", stats.std_dev()),
-                    format!("{:.4}", stats.min()),
-                    format!("{:.4}", stats.max()),
-                ]);
-            }
-        }
-    }
-    println!(
-        "{}",
-        render_table(&["scenario", "mean", "std", "min", "max"], &rows, 44)
-    );
-    println!(
-        "paper takeaway check: max mean slowdown with test task on VM = {vm_test_max:.3} \
-         (paper: typically <= ~1.10)"
-    );
+struct Fig1 {
+    cases: Vec<(LoadLevel, Placement, Placement)>,
+    config: HostConfig,
+    model: VirtCostModel,
+    test_work: CpuWork,
 }
 
-/// Runs one sample and returns the test task's slowdown relative to
-/// a dedicated physical machine.
-fn one_sample(
-    config: &HostConfig,
-    model: &VirtCostModel,
-    level: LoadLevel,
-    load_place: Placement,
-    test_place: Placement,
-    test_work: CpuWork,
-    rng: &mut SimRng,
-) -> f64 {
-    let mut host = HostSim::new(
-        *config,
-        SchedulerKind::TimeShare.build(),
-        rng.split("sched"),
-    );
-    // Background load from a freshly generated trace segment.
-    if level != LoadLevel::None {
-        let trace = TraceGenerator::preset(level)
-            .with_interval(SimDuration::from_millis(250))
-            .generate(600, &mut rng.split("trace"));
-        let per_task = match load_place {
-            Placement::Physical => TaskSpec::compute(CpuWork::ZERO),
-            Placement::Vm => {
-                TaskSpec::compute(CpuWork::ZERO).with_switch_overhead(model.switch_overhead())
+impl Fig1 {
+    fn new() -> Self {
+        let mut cases = Vec::new();
+        for level in LoadLevel::ALL {
+            for load_place in [Placement::Physical, Placement::Vm] {
+                for test_place in [Placement::Physical, Placement::Vm] {
+                    cases.push((level, load_place, test_place));
+                }
             }
-        };
-        host.set_background(TracePlayback::new(trace), 4, per_task);
+        }
+        let config = HostConfig::default(); // dual PIII/800
+        Fig1 {
+            cases,
+            config,
+            model: VirtCostModel::default(),
+            test_work: CpuWork::from_duration(SimDuration::from_secs(3), config.clock_hz),
+        }
     }
-    let spec = match test_place {
-        Placement::Physical => model.native_task(test_work),
-        Placement::Vm => model.guest_task(test_work, 0.0),
-    };
-    let baseline = model.native_task(test_work);
-    let id = host.spawn(spec);
-    let outcome = host
-        .run_until_complete(id, SimDuration::from_secs(600))
-        .expect("test task finishes within 10 simulated minutes");
-    outcome.slowdown_vs(host.baseline(&baseline))
+}
+
+impl Experiment for Fig1 {
+    fn title(&self) -> &str {
+        "Figure 1: microbenchmark slowdown under background load"
+    }
+
+    fn scenarios(&self, opts: &Options) -> Vec<Scenario> {
+        let samples = opts.samples_or(if opts.quick { 40 } else { 1000 });
+        self.cases
+            .iter()
+            .enumerate()
+            .map(|(i, (level, load_place, test_place))| {
+                Scenario::new(
+                    i,
+                    format!(
+                        "{:5} load, load on {:4}, test on {:4}",
+                        level.label(),
+                        load_place.label(),
+                        test_place.label()
+                    ),
+                    samples,
+                )
+            })
+            .collect()
+    }
+
+    fn run_sample(
+        &self,
+        scenario: &Scenario,
+        ctx: &SampleCtx,
+        _opts: &Options,
+    ) -> Vec<Measurement> {
+        let (level, load_place, test_place) = self.cases[scenario.index];
+        let rng = ctx.rng();
+        let mut host = HostSim::new(
+            self.config,
+            SchedulerKind::TimeShare.build(),
+            rng.split("sched"),
+        );
+        // Background load from a freshly generated trace segment.
+        if level != LoadLevel::None {
+            let trace = TraceGenerator::preset(level)
+                .with_interval(SimDuration::from_millis(250))
+                .generate(600, &mut rng.split("trace"));
+            let per_task = match load_place {
+                Placement::Physical => TaskSpec::compute(CpuWork::ZERO),
+                Placement::Vm => TaskSpec::compute(CpuWork::ZERO)
+                    .with_switch_overhead(self.model.switch_overhead()),
+            };
+            host.set_background(TracePlayback::new(trace), 4, per_task);
+        }
+        let spec = match test_place {
+            Placement::Physical => self.model.native_task(self.test_work),
+            Placement::Vm => self.model.guest_task(self.test_work, 0.0),
+        };
+        let baseline = self.model.native_task(self.test_work);
+        let id = host.spawn(spec);
+        let outcome = host
+            .run_until_complete(id, SimDuration::from_secs(600))
+            .expect("test task finishes within 10 simulated minutes");
+        vec![m("slowdown", outcome.slowdown_vs(host.baseline(&baseline)))]
+    }
+
+    fn epilogue(&self, report: &ExperimentReport, _opts: &Options) -> Option<String> {
+        let vm_test_max = report
+            .scenarios
+            .iter()
+            .filter(|s| self.cases[s.scenario.index].2 == Placement::Vm)
+            .map(|s| s.mean("slowdown"))
+            .fold(0.0f64, f64::max);
+        Some(format!(
+            "paper takeaway check: max mean slowdown with test task on VM = {vm_test_max:.3} \
+             (paper: typically <= ~1.10)"
+        ))
+    }
+}
+
+fn main() {
+    run_main(&Fig1::new());
 }

@@ -8,7 +8,9 @@
 //! VM/PVFS; SPECclimate 9307 s native, +4.0% VM/local, +4.2%
 //! VM/PVFS.
 
-use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_bench::harness::{
+    m, run_main, Experiment, ExperimentReport, Measurement, Options, SampleCtx, Scenario,
+};
 use gridvm_core::NfsGuestStorage;
 use gridvm_simcore::rng::SimRng;
 use gridvm_simcore::time::SimTime;
@@ -21,63 +23,48 @@ use gridvm_vmm::exec::{run_app, ExecMode, GuestRunReport, LocalDiskStorage};
 use gridvm_vmm::VirtCostModel;
 use gridvm_workloads::{spec, AppProfile};
 
-fn main() {
-    let opts = Options::from_args();
-    banner("Table 1: SPEChpc macrobenchmarks", &opts);
-    let model = VirtCostModel::default();
+/// How the guest's state is hosted in one scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Resource {
+    Physical,
+    VmLocal,
+    VmPvfs,
+}
 
-    let mut rows = Vec::new();
-    for (make_app, paper_native, paper_vm, paper_pvfs) in [
-        (spec::specseis as fn() -> AppProfile, 16414.0, 1.2, 2.0),
-        (spec::specclimate as fn() -> AppProfile, 9307.0, 4.0, 4.2),
-    ] {
-        let app = scaled(&make_app(), &opts);
-        let scale = if opts.quick { 0.01 } else { 1.0 };
+impl Resource {
+    const ALL: [Resource; 3] = [Resource::Physical, Resource::VmLocal, Resource::VmPvfs];
 
-        let native = run_local(&app, ExecMode::Native, &model, opts.seed);
-        let vm_local = run_local(&app, ExecMode::Virtualized, &model, opts.seed);
-        let vm_pvfs = run_pvfs(&app, &model, opts.seed);
-
-        for (resource, r) in [
-            ("Physical", &native),
-            ("VM, local disk", &vm_local),
-            ("VM, PVFS", &vm_pvfs),
-        ] {
-            let overhead = if std::ptr::eq(r, &native) {
-                "N/A".to_owned()
-            } else {
-                format!("{:.1}%", r.overhead_vs(&native) * 100.0)
-            };
-            rows.push(vec![
-                format!("{:<12} {}", app.name(), resource),
-                format!("{:.0}", r.user.as_secs_f64() / scale),
-                format!("{:.0}", r.sys.as_secs_f64() / scale),
-                format!("{:.0}", r.cpu_total().as_secs_f64() / scale),
-                overhead,
-            ]);
+    fn label(self) -> &'static str {
+        match self {
+            Resource::Physical => "Physical",
+            Resource::VmLocal => "VM, local disk",
+            Resource::VmPvfs => "VM, PVFS",
         }
-        println!(
-            "{} paper: native {paper_native:.0}s, VM +{paper_vm}%, PVFS +{paper_pvfs}%",
-            app.name()
-        );
     }
-    println!();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "application / resource",
-                "user(s)",
-                "sys(s)",
-                "user+sys",
-                "overhead"
+}
+
+/// (app constructor, paper native s, paper VM %, paper PVFS %).
+type AppCase = (fn() -> AppProfile, f64, f64, f64);
+
+struct Table1 {
+    model: VirtCostModel,
+    apps: Vec<AppCase>,
+}
+
+impl Table1 {
+    fn new() -> Self {
+        Table1 {
+            model: VirtCostModel::default(),
+            apps: vec![
+                (spec::specseis as fn() -> AppProfile, 16414.0, 1.2, 2.0),
+                (spec::specclimate as fn() -> AppProfile, 9307.0, 4.0, 4.2),
             ],
-            &rows,
-            34
-        )
-    );
-    if opts.quick {
-        println!("(quick mode: workloads scaled to 1%; times rescaled for display)");
+        }
+    }
+
+    fn case(&self, index: usize) -> (AppProfile, Resource) {
+        let (make_app, _, _, _) = self.apps[index / Resource::ALL.len()];
+        (make_app(), Resource::ALL[index % Resource::ALL.len()])
     }
 }
 
@@ -142,4 +129,61 @@ fn run_pvfs(app: &AppProfile, model: &VirtCostModel, seed: u64) -> GuestRunRepor
         SimTime::ZERO,
         &mut SimRng::seed_from(seed),
     )
+}
+
+impl Experiment for Table1 {
+    fn title(&self) -> &str {
+        "Table 1: SPEChpc macrobenchmarks"
+    }
+
+    fn scenarios(&self, _opts: &Options) -> Vec<Scenario> {
+        (0..self.apps.len() * Resource::ALL.len())
+            .map(|i| {
+                let (app, resource) = self.case(i);
+                Scenario::new(i, format!("{:<12} {}", app.name(), resource.label()), 1)
+            })
+            .collect()
+    }
+
+    fn run_sample(&self, scenario: &Scenario, ctx: &SampleCtx, opts: &Options) -> Vec<Measurement> {
+        let (app, resource) = self.case(scenario.index);
+        let app = scaled(&app, opts);
+        let scale = if opts.quick { 0.01 } else { 1.0 };
+        let report = match resource {
+            Resource::Physical => run_local(&app, ExecMode::Native, &self.model, ctx.seed),
+            Resource::VmLocal => run_local(&app, ExecMode::Virtualized, &self.model, ctx.seed),
+            Resource::VmPvfs => run_pvfs(&app, &self.model, ctx.seed),
+        };
+        let mut out = vec![
+            m("user_s", report.user.as_secs_f64() / scale),
+            m("sys_s", report.sys.as_secs_f64() / scale),
+            m("total_s", report.cpu_total().as_secs_f64() / scale),
+        ];
+        if resource != Resource::Physical {
+            // Overhead is against a native run of the same workload
+            // with the same seed, so it is a pure virtualization cost.
+            let native = run_local(&app, ExecMode::Native, &self.model, ctx.seed);
+            out.push(m("overhead_pct", report.overhead_vs(&native) * 100.0));
+        }
+        out
+    }
+
+    fn epilogue(&self, _report: &ExperimentReport, opts: &Options) -> Option<String> {
+        let mut out = String::new();
+        for (make_app, paper_native, paper_vm, paper_pvfs) in &self.apps {
+            out.push_str(&format!(
+                "{} paper: native {paper_native:.0}s, VM +{paper_vm}%, PVFS +{paper_pvfs}%\n",
+                make_app().name()
+            ));
+        }
+        if opts.quick {
+            out.push_str("(quick mode: workloads scaled to 1%; times rescaled for display)\n");
+        }
+        out.pop();
+        Some(out)
+    }
+}
+
+fn main() {
+    run_main(&Table1::new());
 }

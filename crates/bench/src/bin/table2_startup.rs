@@ -14,102 +14,134 @@
 //! | restore / DiskFS             | 12.4  |
 //! | restore / LoopbackNFS        | 29.2  |
 
-use gridvm_bench::harness::{banner, render_table, Options};
+use gridvm_bench::harness::{
+    m, run_main, Experiment, ExperimentReport, Measurement, Options, SampleCtx, Scenario,
+};
 use gridvm_core::server::ComputeServer;
 use gridvm_core::startup::{run_startup, StartupConfig, StartupMode, StateAccess};
-use gridvm_simcore::rng::SimRng;
-use gridvm_simcore::stats::OnlineStats;
+use gridvm_simcore::metrics;
 use gridvm_vmm::machine::DiskMode;
 
-fn main() {
-    let opts = Options::from_args();
-    banner(
-        "Table 2: VM startup times (globusrun wall clock, seconds)",
-        &opts,
-    );
-    let samples = opts.samples_or(10);
+struct Table2 {
+    scenarios: Vec<(StartupConfig, f64)>,
+}
 
-    let scenarios = [
-        (
-            StartupMode::Reboot,
-            DiskMode::Persistent,
-            StateAccess::DiskFs,
-            273.0,
-        ),
-        (
-            StartupMode::Reboot,
-            DiskMode::NonPersistent,
-            StateAccess::DiskFs,
-            69.2,
-        ),
-        (
-            StartupMode::Reboot,
-            DiskMode::NonPersistent,
-            StateAccess::LoopbackNfs,
-            74.5,
-        ),
-        (
-            StartupMode::Restore,
-            DiskMode::Persistent,
-            StateAccess::DiskFs,
-            269.0,
-        ),
-        (
-            StartupMode::Restore,
-            DiskMode::NonPersistent,
-            StateAccess::DiskFs,
-            12.4,
-        ),
-        (
-            StartupMode::Restore,
-            DiskMode::NonPersistent,
-            StateAccess::LoopbackNfs,
-            29.2,
-        ),
-    ];
-
-    let mut rows = Vec::new();
-    for (mode, disk_mode, access, paper_mean) in scenarios {
-        let cfg = StartupConfig::table2(mode, disk_mode, access);
-        let root = SimRng::seed_from(opts.seed).split(&cfg.label());
-        let mut stats = OnlineStats::new();
-        let mut last = None;
-        for i in 0..samples {
-            let mut server = ComputeServer::paper_node("V");
-            let mut rng = root.split(&format!("sample-{i}"));
-            let b = run_startup(&mut server, &cfg, &mut rng);
-            stats.record(b.total_secs());
-            last = Some(b);
-        }
-        rows.push(vec![
-            cfg.label(),
-            format!("{:.1}", stats.mean()),
-            format!("{:.1}", stats.std_dev()),
-            format!("{:.1}", stats.min()),
-            format!("{:.1}", stats.max()),
-            format!("{paper_mean:.1}"),
-        ]);
-        if let Some(b) = last {
-            println!(
-                "{:<44} phases: mw-in {:.1} copy {:.1} setup {:.1} load {:.1} cpu {:.1} mw-out {:.1}",
-                cfg.label(),
-                b.middleware_in.as_secs_f64(),
-                b.image_copy.as_secs_f64(),
-                b.monitor_setup.as_secs_f64(),
-                b.state_load.as_secs_f64(),
-                b.guest_cpu.as_secs_f64(),
-                b.middleware_out.as_secs_f64(),
-            );
+impl Table2 {
+    fn new() -> Self {
+        let cases = [
+            (
+                StartupMode::Reboot,
+                DiskMode::Persistent,
+                StateAccess::DiskFs,
+                273.0,
+            ),
+            (
+                StartupMode::Reboot,
+                DiskMode::NonPersistent,
+                StateAccess::DiskFs,
+                69.2,
+            ),
+            (
+                StartupMode::Reboot,
+                DiskMode::NonPersistent,
+                StateAccess::LoopbackNfs,
+                74.5,
+            ),
+            (
+                StartupMode::Restore,
+                DiskMode::Persistent,
+                StateAccess::DiskFs,
+                269.0,
+            ),
+            (
+                StartupMode::Restore,
+                DiskMode::NonPersistent,
+                StateAccess::DiskFs,
+                12.4,
+            ),
+            (
+                StartupMode::Restore,
+                DiskMode::NonPersistent,
+                StateAccess::LoopbackNfs,
+                29.2,
+            ),
+        ];
+        Table2 {
+            scenarios: cases
+                .into_iter()
+                .map(|(mode, disk, access, paper)| {
+                    (StartupConfig::table2(mode, disk, access), paper)
+                })
+                .collect(),
         }
     }
-    println!();
-    println!(
-        "{}",
-        render_table(
-            &["scenario", "mean", "std", "min", "max", "paper"],
-            &rows,
-            44
-        )
-    );
-    println!("shape checks: restore << reboot (non-persistent); persistent >> all; NFS > DiskFS");
+}
+
+impl Experiment for Table2 {
+    fn title(&self) -> &str {
+        "Table 2: VM startup times (globusrun wall clock, seconds)"
+    }
+
+    fn scenarios(&self, opts: &Options) -> Vec<Scenario> {
+        self.scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, (cfg, _))| Scenario::new(i, cfg.label(), opts.samples_or(10)))
+            .collect()
+    }
+
+    fn run_sample(
+        &self,
+        scenario: &Scenario,
+        ctx: &SampleCtx,
+        _opts: &Options,
+    ) -> Vec<Measurement> {
+        let (cfg, _) = &self.scenarios[scenario.index];
+        let mut server = ComputeServer::paper_node("V");
+        let b = run_startup(&mut server, cfg, &mut ctx.rng());
+        // Phase breakdown lands in the metrics registry, so the
+        // epilogue (and the JSON report) can show per-phase means.
+        metrics::timer_record("startup.middleware_in_s", b.middleware_in.as_secs_f64());
+        metrics::timer_record("startup.image_copy_s", b.image_copy.as_secs_f64());
+        metrics::timer_record("startup.monitor_setup_s", b.monitor_setup.as_secs_f64());
+        metrics::timer_record("startup.state_load_s", b.state_load.as_secs_f64());
+        metrics::timer_record("startup.guest_cpu_s", b.guest_cpu.as_secs_f64());
+        metrics::timer_record("startup.middleware_out_s", b.middleware_out.as_secs_f64());
+        vec![m("total_s", b.total_secs())]
+    }
+
+    fn paper_reference(&self, scenario: &Scenario) -> Option<f64> {
+        Some(self.scenarios[scenario.index].1)
+    }
+
+    fn epilogue(&self, report: &ExperimentReport, _opts: &Options) -> Option<String> {
+        let mut out = String::new();
+        for s in &report.scenarios {
+            let phase = |name: &str| {
+                s.metrics
+                    .timer(name)
+                    .map(|t| t.stats().mean())
+                    .unwrap_or(0.0)
+            };
+            out.push_str(&format!(
+                "{:<44} phase means: mw-in {:.1} copy {:.1} setup {:.1} load {:.1} \
+                 cpu {:.1} mw-out {:.1}\n",
+                s.scenario.label,
+                phase("startup.middleware_in_s"),
+                phase("startup.image_copy_s"),
+                phase("startup.monitor_setup_s"),
+                phase("startup.state_load_s"),
+                phase("startup.guest_cpu_s"),
+                phase("startup.middleware_out_s"),
+            ));
+        }
+        out.push_str(
+            "shape checks: restore << reboot (non-persistent); persistent >> all; NFS > DiskFS",
+        );
+        Some(out)
+    }
+}
+
+fn main() {
+    run_main(&Table2::new());
 }

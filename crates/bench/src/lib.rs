@@ -5,7 +5,10 @@
 //! experiment index; each binary prints the same rows/series the
 //! paper reports.
 //!
-//! Binaries (all accept `--seed N`, `--samples N`, `--quick`):
+//! Binaries (all accept `--seed N`, `--samples N`, `--quick`,
+//! `--threads N` and `--json PATH`; replications are fanned out by
+//! [`gridvm_simcore::replication::ReplicationRunner`] and results are
+//! bit-identical for every `--threads` value):
 //!
 //! * `fig1_micro` — Figure 1: test-task slowdown under background
 //!   load, 12 scenarios.

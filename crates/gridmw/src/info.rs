@@ -12,10 +12,9 @@ use std::fmt;
 
 use gridvm_simcore::rng::SimRng;
 use gridvm_simcore::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Unique id of a registered resource.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ResourceId(pub u64);
 
 impl fmt::Display for ResourceId {
@@ -25,7 +24,7 @@ impl fmt::Display for ResourceId {
 }
 
 /// What kind of thing a record describes.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ResourceKind {
     /// A physical compute server (a potential VM host).
     PhysicalHost {
@@ -80,7 +79,7 @@ impl ResourceKind {
 }
 
 /// One registered resource.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ResourceRecord {
     /// Identity.
     pub id: ResourceId,

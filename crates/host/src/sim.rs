@@ -310,6 +310,8 @@ impl HostSim {
                         overhead_time: task.overhead_time,
                         switches: task.switches,
                     };
+                    gridvm_simcore::metrics::counter_add("host.world_switches", task.switches);
+                    gridvm_simcore::metrics::counter_add("host.tasks_completed", 1);
                     self.scheduler.charge(id, used);
                     self.scheduler.remove_task(id);
                     self.tasks.remove(&id);

@@ -131,7 +131,9 @@ impl<W> Engine<W> {
     /// Runs until no events remain.
     pub fn run(&mut self, world: &mut W) {
         self.horizon = None;
+        let before = self.executed;
         while self.step(world) {}
+        crate::metrics::counter_add("sim.events_executed", self.executed - before);
     }
 
     /// Runs until the queue is empty or the next event lies strictly
@@ -139,7 +141,9 @@ impl<W> Engine<W> {
     /// not yet reached it. Events exactly at `deadline` run.
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
         self.horizon = Some(deadline);
+        let before = self.executed;
         while self.step(world) {}
+        crate::metrics::counter_add("sim.events_executed", self.executed - before);
         self.horizon = None;
         if self.clock < deadline {
             self.clock = deadline;
@@ -152,6 +156,7 @@ impl<W> Engine<W> {
         while n < max_events && self.step(world) {
             n += 1;
         }
+        crate::metrics::counter_add("sim.events_executed", n);
         n
     }
 }

@@ -22,6 +22,12 @@
 //!   in schedule order (deterministic tie-breaking).
 //! * [`stats`] — online statistics (Welford), histograms and series
 //!   summaries used by every experiment harness.
+//! * [`metrics`] — counter/gauge/timer registries recorded into a
+//!   thread-local per-replication context and merged across
+//!   replications.
+//! * [`replication`] — the [`ReplicationRunner`], which fans N
+//!   independent replications across OS threads while keeping results
+//!   bit-identical for any thread count.
 //! * [`server`] — analytic FIFO/processor-sharing service primitives
 //!   used to model disks, links and RPC endpoints without spawning an
 //!   event per byte.
@@ -52,6 +58,8 @@
 
 pub mod engine;
 pub mod event;
+pub mod metrics;
+pub mod replication;
 pub mod rng;
 pub mod server;
 pub mod stats;
@@ -60,6 +68,8 @@ pub mod trace;
 pub mod units;
 
 pub use engine::Engine;
+pub use metrics::Metrics;
+pub use replication::{ReplicationCtx, ReplicationRunner};
 pub use rng::SimRng;
 pub use stats::OnlineStats;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,294 @@
+//! Per-replication metrics: counters, gauges and timers keyed by
+//! static names, recorded into an implicit thread-local context and
+//! merged across replications.
+//!
+//! The simulation kernel and the middleware crates record their
+//! headline quantities (events executed, world switches, trap counts,
+//! cache hits/misses, RPC round-trips) through the free functions in
+//! this module. Because the context is thread-local, components need
+//! no extra plumbing, recording stays lock-free, and a
+//! [`ReplicationRunner`](crate::replication::ReplicationRunner)
+//! harvesting one context per replication observes exactly the
+//! activity of that replication regardless of how replications are
+//! packed onto OS threads.
+//!
+//! Merging is deterministic: registries are ordered maps keyed by
+//! `&'static str`, counters add, gauges and timers fold their
+//! per-replication distributions with the same parallel-Welford merge
+//! [`OnlineStats`] uses, and the runner merges contexts in
+//! replication-index order — so merged results are bit-identical for
+//! any `--threads` value.
+//!
+//! ```
+//! use gridvm_simcore::metrics;
+//!
+//! metrics::reset();
+//! metrics::counter_add("vfs.rpc_round_trips", 3);
+//! metrics::gauge_set("host.utilization", 0.75);
+//! metrics::timer_record("vmm.world_switch_secs", 1.2e-5);
+//! let m = metrics::take();
+//! assert_eq!(m.counter("vfs.rpc_round_trips"), 3);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::stats::OnlineStats;
+
+/// Aggregate of one timer: invocation count plus the distribution of
+/// recorded durations (in seconds).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimerStat {
+    stats: OnlineStats,
+}
+
+impl TimerStat {
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Sum of recorded durations, seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.stats.mean() * self.stats.count() as f64
+    }
+
+    /// Distribution of recorded durations.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+}
+
+/// A registry of named counters, gauges and timers.
+///
+/// Component code does not usually construct one directly; it records
+/// through the module-level free functions and lets the replication
+/// runner harvest and merge contexts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, OnlineStats>,
+    timers: BTreeMap<&'static str, TimerStat>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.timers.is_empty()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge for this replication. Within one
+    /// replication the last write wins; across merged replications the
+    /// gauge reports the distribution of per-replication values.
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        let mut s = OnlineStats::new();
+        s.record(value);
+        self.gauges.insert(name, s);
+    }
+
+    /// Records one duration (seconds) against the named timer.
+    pub fn timer_record(&mut self, name: &'static str, secs: f64) {
+        self.timers.entry(name).or_default().stats.record(secs);
+    }
+
+    /// The named counter's value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's value distribution, when set.
+    pub fn gauge(&self, name: &str) -> Option<&OnlineStats> {
+        self.gauges.get(name)
+    }
+
+    /// The named timer's aggregate, when recorded.
+    pub fn timer(&self, name: &str) -> Option<&TimerStat> {
+        self.timers.get(name)
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All gauges, name-ordered.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, &OnlineStats)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// All timers, name-ordered.
+    pub fn timers(&self) -> impl Iterator<Item = (&'static str, &TimerStat)> + '_ {
+        self.timers.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Folds another registry into this one: counters add, gauge and
+    /// timer distributions merge. Deterministic given the merge order,
+    /// which the replication runner fixes to replication-index order.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, s) in &other.gauges {
+            self.gauges.entry(name).or_default().merge(s);
+        }
+        for (name, t) in &other.timers {
+            self.timers.entry(name).or_default().stats.merge(&t.stats);
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "counter {name} = {v}")?;
+        }
+        for (name, s) in &self.gauges {
+            writeln!(f, "gauge   {name} = {s}")?;
+        }
+        for (name, t) in &self.timers {
+            writeln!(
+                f,
+                "timer   {name} = n={} total={:.6}s",
+                t.count(),
+                t.total_secs()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Metrics> = RefCell::new(Metrics::new());
+}
+
+/// Clears this thread's metrics context. The replication runner calls
+/// this before each replication so contexts never bleed across
+/// replications sharing an OS thread.
+pub fn reset() {
+    CONTEXT.with(|c| *c.borrow_mut() = Metrics::new());
+}
+
+/// Takes this thread's metrics context, leaving an empty one.
+pub fn take() -> Metrics {
+    CONTEXT.with(|c| std::mem::take(&mut *c.borrow_mut()))
+}
+
+/// Runs `f` with a read view of this thread's context.
+pub fn with_current<R>(f: impl FnOnce(&Metrics) -> R) -> R {
+    CONTEXT.with(|c| f(&c.borrow()))
+}
+
+/// Adds `delta` to a counter in this thread's context.
+pub fn counter_add(name: &'static str, delta: u64) {
+    CONTEXT.with(|c| c.borrow_mut().counter_add(name, delta));
+}
+
+/// Sets a gauge in this thread's context.
+pub fn gauge_set(name: &'static str, value: f64) {
+    CONTEXT.with(|c| c.borrow_mut().gauge_set(name, value));
+}
+
+/// Records a duration (seconds) against a timer in this thread's
+/// context.
+pub fn timer_record(name: &'static str, secs: f64) {
+    CONTEXT.with(|c| c.borrow_mut().timer_record(name, secs));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_merge() {
+        let mut a = Metrics::new();
+        a.counter_add("x", 2);
+        a.counter_add("x", 3);
+        let mut b = Metrics::new();
+        b.counter_add("x", 5);
+        b.counter_add("y", 1);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 10);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_last_write_then_merge_distributions() {
+        let mut a = Metrics::new();
+        a.gauge_set("u", 0.25);
+        a.gauge_set("u", 0.75); // last write wins within a replication
+        let mut b = Metrics::new();
+        b.gauge_set("u", 0.25);
+        a.merge(&b);
+        let g = a.gauge("u").expect("set");
+        assert_eq!(g.count(), 2);
+        assert!((g.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timers_accumulate() {
+        let mut m = Metrics::new();
+        m.timer_record("t", 1.0);
+        m.timer_record("t", 3.0);
+        let t = m.timer("t").expect("recorded");
+        assert_eq!(t.count(), 2);
+        assert!((t.total_secs() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_order_sensitive_only_in_float_rounding() {
+        // Same multiset of inputs merged in the same order must be
+        // bit-identical — the property the runner relies on.
+        let build = || {
+            let mut parts = Vec::new();
+            for i in 0..4 {
+                let mut m = Metrics::new();
+                m.counter_add("c", i);
+                m.gauge_set("g", i as f64 * 0.1);
+                m.timer_record("t", i as f64);
+                parts.push(m);
+            }
+            let mut merged = Metrics::new();
+            for p in &parts {
+                merged.merge(p);
+            }
+            merged
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn thread_local_context_roundtrip() {
+        reset();
+        counter_add("ctx.count", 7);
+        gauge_set("ctx.gauge", 2.5);
+        timer_record("ctx.timer", 0.5);
+        with_current(|m| assert_eq!(m.counter("ctx.count"), 7));
+        let m = take();
+        assert_eq!(m.counter("ctx.count"), 7);
+        assert_eq!(m.gauge("ctx.gauge").map(|g| g.count()), Some(1));
+        // The context is now empty again.
+        with_current(|m| assert!(m.is_empty()));
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let mut m = Metrics::new();
+        m.counter_add("a.count", 1);
+        m.gauge_set("b.gauge", 1.0);
+        m.timer_record("c.timer", 0.1);
+        let s = m.to_string();
+        assert!(s.contains("a.count") && s.contains("b.gauge") && s.contains("c.timer"));
+    }
+}

@@ -19,13 +19,22 @@ use std::fmt;
 /// assert_eq!(s.population_std_dev(), 2.0);
 /// assert_eq!((s.min(), s.max()), (2.0, 9.0));
 /// ```
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for OnlineStats {
+    // NOT derived: the derive would zero `min`/`max`, and a stats
+    // accumulator reached through `Entry::or_default` would then
+    // report a spurious 0.0 extremum.
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OnlineStats {

@@ -89,6 +89,9 @@ impl TraceLog {
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.dropped += 1;
+            // Surfaced by experiment summaries: silently truncated
+            // causal history invalidates trace-based assertions.
+            crate::metrics::counter_add("trace.dropped", 1);
         }
         self.entries.push_back(TraceEntry {
             time,

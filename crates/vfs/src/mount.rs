@@ -225,6 +225,7 @@ impl Mount {
         }
         // Full RPC to the server.
         self.rpcs_sent += 1;
+        gridvm_simcore::metrics::counter_add("vfs.rpc_round_trips", 1);
         let (server_done, result) = self.server.handle(now, req.clone());
         let resp_size = match &result {
             Ok(r) => r.wire_size().as_u64(),
@@ -246,6 +247,7 @@ impl Mount {
                         len: pf_len,
                     };
                     self.rpcs_sent += 1;
+                    gridvm_simcore::metrics::counter_add("vfs.rpc_round_trips", 1);
                     let _ = self.server.handle(done, pf);
                     proxy.install(*fh, pf_offset, pf_len);
                 }

@@ -185,6 +185,7 @@ impl VfsProxy {
             debug_assert!(hit);
         }
         self.hits += blocks.len() as u64;
+        gridvm_simcore::metrics::counter_add("vfs.proxy_hits", blocks.len() as u64);
         self.last_read_end.insert(fh.0, offset + len);
         Some(now + self.config.hit_cost * blocks.len() as u64)
     }
@@ -205,6 +206,7 @@ impl VfsProxy {
             .get(&fh.0)
             .is_some_and(|end| *end == offset);
         self.misses += 1;
+        gridvm_simcore::metrics::counter_add("vfs.proxy_misses", 1);
         self.install(fh, offset, len);
         self.last_read_end.insert(fh.0, offset + len);
         if !sequential || self.config.prefetch_depth == 0 {
@@ -222,6 +224,7 @@ impl VfsProxy {
             out.push((pf_offset, bs));
         }
         self.prefetched += out.len() as u64;
+        gridvm_simcore::metrics::counter_add("vfs.proxy_prefetched", out.len() as u64);
         out
     }
 

@@ -146,6 +146,12 @@ pub fn run_app(
     };
     let mut sys = syscall_cost * app.syscalls() + io_kernel_cost * io_blocks;
     sys += storage.client_cpu_per_block() * io_blocks;
+    if mode == ExecMode::Virtualized {
+        gridvm_simcore::metrics::counter_add("vmm.guest_runs", 1);
+        // Every syscall and every I/O block traps into the monitor
+        // under trap-and-emulate.
+        gridvm_simcore::metrics::counter_add("vmm.traps", app.syscalls() + io_blocks);
+    }
 
     // --- I/O replay ------------------------------------------------------
     let read_blocks = app.read_bytes().blocks(IO_BLOCK);

@@ -122,6 +122,114 @@ fn full_sessions_reproduce_per_seed() {
 }
 
 #[test]
+fn replication_runner_is_thread_count_invariant_for_fig1_work() {
+    // Figure-1-shaped replication: a compute-bound test task on a
+    // loaded host, measured against its dedicated-machine baseline.
+    // Whatever --threads value fans these out, every per-replication
+    // result and the merged metrics must be bit-identical.
+    use gridvm::simcore::metrics;
+    use gridvm::simcore::replication::{ReplicationCtx, ReplicationRunner};
+
+    let sample = |ctx: &ReplicationCtx| {
+        let rng = ctx.rng();
+        let config = HostConfig::default();
+        let mut host = HostSim::new(config, SchedulerKind::TimeShare.build(), rng.split("sched"));
+        let trace = TraceGenerator::preset(LoadLevel::Heavy).generate(120, &mut rng.split("trace"));
+        host.set_background(
+            TracePlayback::new(trace),
+            4,
+            TaskSpec::compute(CpuWork::ZERO),
+        );
+        let work = CpuWork::from_duration(SimDuration::from_secs(1), config.clock_hz);
+        let id = host.spawn(TaskSpec::compute(work));
+        let outcome = host
+            .run_until_complete(id, SimDuration::from_secs(600))
+            .expect("finishes");
+        metrics::counter_add("fig1.samples", 1);
+        outcome.completed_at
+    };
+
+    let serial = ReplicationRunner::new(1).run(20030517, 24, sample);
+    let parallel = ReplicationRunner::new(8).run(20030517, 24, sample);
+    assert_eq!(serial.results, parallel.results);
+    assert_eq!(serial.replication_metrics, parallel.replication_metrics);
+    assert_eq!(serial.merged_metrics, parallel.merged_metrics);
+    assert_eq!(serial.merged_metrics.counter("fig1.samples"), 24);
+    // The host layer's own hooks must be identical too, not just the
+    // test's counter.
+    assert!(serial.merged_metrics.counter("host.world_switches") > 0);
+}
+
+#[test]
+fn experiment_reports_are_thread_count_invariant() {
+    use gridvm_bench::harness::{
+        m, run_experiment, Experiment, Measurement, Options, SampleCtx, Scenario,
+    };
+
+    struct MiniFig1;
+
+    impl Experiment for MiniFig1 {
+        fn title(&self) -> &str {
+            "mini fig1"
+        }
+
+        fn scenarios(&self, _opts: &Options) -> Vec<Scenario> {
+            [LoadLevel::None, LoadLevel::Heavy]
+                .iter()
+                .enumerate()
+                .map(|(i, level)| Scenario::new(i, format!("{level} load"), 6))
+                .collect()
+        }
+
+        fn run_sample(
+            &self,
+            scenario: &Scenario,
+            ctx: &SampleCtx,
+            _opts: &Options,
+        ) -> Vec<Measurement> {
+            let rng = ctx.rng();
+            let config = HostConfig::default();
+            let mut host =
+                HostSim::new(config, SchedulerKind::TimeShare.build(), rng.split("sched"));
+            if scenario.index == 1 {
+                let trace =
+                    TraceGenerator::preset(LoadLevel::Heavy).generate(120, &mut rng.split("trace"));
+                host.set_background(
+                    TracePlayback::new(trace),
+                    4,
+                    TaskSpec::compute(CpuWork::ZERO),
+                );
+            }
+            let work = CpuWork::from_duration(SimDuration::from_secs(1), config.clock_hz);
+            let id = host.spawn(TaskSpec::compute(work));
+            let outcome = host
+                .run_until_complete(id, SimDuration::from_secs(600))
+                .expect("finishes");
+            vec![m("completed_s", outcome.completed_at.as_secs_f64())]
+        }
+    }
+
+    let run = |threads: usize| {
+        run_experiment(
+            &MiniFig1,
+            &Options {
+                threads,
+                ..Options::default()
+            },
+        )
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial.scenarios.len(), parallel.scenarios.len());
+    for (a, b) in serial.scenarios.iter().zip(&parallel.scenarios) {
+        assert_eq!(a.measurements, b.measurements);
+        assert_eq!(a.metrics, b.metrics);
+    }
+    assert_eq!(serial.metrics, parallel.metrics);
+    assert!(serial.metrics.counter("host.world_switches") > 0);
+}
+
+#[test]
 fn trace_generation_streams_are_label_isolated() {
     // Drawing from one component's stream must not perturb another's.
     let root = SimRng::seed_from(6);

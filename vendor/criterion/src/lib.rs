@@ -1,0 +1,147 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal bench runner exposing the subset of
+//! criterion's surface the `gridvm-bench` benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It measures median wall-clock time over a fixed number of
+//! iterations — enough to spot order-of-magnitude regressions by eye;
+//! it does not attempt criterion's statistical machinery.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Inputs of a caller-chosen size.
+    NumIterations(u64),
+}
+
+/// An opaque identity function that defeats constant folding well
+/// enough for these benches (no `unsafe`, no inline assembly).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs one benchmark's measurement loop.
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..Criterion::SAMPLES {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..Criterion::SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// The bench context handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    const SAMPLES: u32 = 15;
+
+    /// Registers and immediately runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or(0.0);
+        let best = b.samples.first().copied().unwrap_or(0.0);
+        println!(
+            "bench {name:<50} median {:>12} best {:>12}",
+            fmt(median),
+            fmt(best)
+        );
+        self
+    }
+}
+
+fn fmt(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.0} ns", secs * 1e9)
+    }
+}
+
+/// Declares a bench group: a named function list runnable by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group!(benches, demo);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}
