@@ -1,0 +1,184 @@
+//! Substrate performance baseline: wall-clock throughput of the
+//! simulation hot paths (event queue, engine loop, LRU caches, proxy
+//! churn, metrics counters).
+//!
+//! Unlike the reproduction binaries, the *measurements* here are host
+//! wall-clock rates (operations per second), so values vary by
+//! machine; the workloads themselves are still seeded and
+//! deterministic. Run with `--json BENCH_simcore.json` to record a
+//! perf trajectory point in the `gridvm-bench/v1` schema — the
+//! committed `BENCH_simcore.json` at the repo root is the first such
+//! point, and future substrate PRs are expected to re-run this binary
+//! and compare.
+//!
+//! ```text
+//! cargo run --release -p gridvm-bench --bin baseline -- \
+//!     --threads 1 --json BENCH_simcore.json
+//! ```
+//!
+//! Use `--threads 1` for recorded baselines: replications run
+//! back-to-back instead of contending for cores mid-measurement.
+
+use std::time::Instant;
+
+use gridvm_bench::harness::{self, m, Experiment, Measurement, Options, SampleCtx, Scenario};
+use gridvm_simcore::engine::Engine;
+use gridvm_simcore::event::EventQueue;
+use gridvm_simcore::lru::LruSet;
+use gridvm_simcore::metrics::Counter;
+use gridvm_simcore::time::{SimDuration, SimTime};
+use gridvm_vfs::fs::FileHandle;
+use gridvm_vfs::protocol::NFS_BLOCK;
+use gridvm_vfs::proxy::{ProxyConfig, VfsProxy};
+
+struct Baseline;
+
+/// Scenario labels; `run_sample` dispatches on index.
+const SCENARIOS: [&str; 5] = [
+    "engine: chained events",
+    "queue: push+pop random times",
+    "queue: push/cancel/drain mix",
+    "lru: touch-or-insert churn",
+    "proxy: block churn",
+];
+
+/// Events/operations per sample at full size (quick mode divides by
+/// 10).
+const FULL_OPS: u64 = 100_000;
+
+impl Baseline {
+    fn ops(&self, opts: &Options) -> u64 {
+        if opts.quick {
+            FULL_OPS / 10
+        } else {
+            FULL_OPS
+        }
+    }
+}
+
+impl Experiment for Baseline {
+    fn title(&self) -> &str {
+        "substrate perf baseline (wall-clock, machine-dependent)"
+    }
+
+    fn scenarios(&self, opts: &Options) -> Vec<Scenario> {
+        SCENARIOS
+            .iter()
+            .enumerate()
+            .map(|(i, label)| Scenario::new(i, *label, opts.samples_or(5)))
+            .collect()
+    }
+
+    fn run_sample(&self, scenario: &Scenario, ctx: &SampleCtx, opts: &Options) -> Vec<Measurement> {
+        // Counted through the pre-resolved fast path so the committed
+        // baseline exercises it end-to-end.
+        BASELINE_SAMPLES.add(1);
+        let n = self.ops(opts);
+        let mut rng = ctx.rng();
+        let (ops, elapsed) = match scenario.index {
+            0 => {
+                // The Engine::run loop: one chained event at a time,
+                // the dominant shape of every reproduction binary.
+                let started = Instant::now();
+                let mut en: Engine<u64> = Engine::new();
+                let mut world = 0u64;
+                let target = n;
+                en.schedule_now(move |w: &mut u64, en| chain(w, en, target));
+                en.run(&mut world);
+                assert_eq!(world, n);
+                (n, started.elapsed())
+            }
+            1 => {
+                let times: Vec<SimTime> = (0..n)
+                    .map(|_| SimTime::from_nanos(rng.next_u64() % 1_000_000))
+                    .collect();
+                let started = Instant::now();
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.push(*t, i);
+                }
+                while q.pop().is_some() {}
+                (2 * n, started.elapsed())
+            }
+            2 => {
+                let times: Vec<SimTime> = (0..n)
+                    .map(|_| SimTime::from_nanos(rng.next_u64() % 1_000_000))
+                    .collect();
+                let started = Instant::now();
+                let mut q = EventQueue::new();
+                let ids: Vec<_> = times
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| q.push(*t, i))
+                    .collect();
+                for id in ids.iter().step_by(3) {
+                    q.cancel(*id);
+                }
+                while q.pop().is_some() {}
+                (2 * n + n / 3, started.elapsed())
+            }
+            3 => {
+                let keys: Vec<u64> = (0..n).map(|_| rng.next_u64() % 8192).collect();
+                let started = Instant::now();
+                let mut lru = LruSet::new(4096);
+                for k in &keys {
+                    if !lru.touch(k) {
+                        lru.insert(*k);
+                    }
+                }
+                (n, started.elapsed())
+            }
+            4 => {
+                let churn = n / 10; // proxy ops are block-granular and pricier
+                let bs = NFS_BLOCK.as_u64();
+                let offsets: Vec<u64> = (0..churn).map(|_| (rng.next_u64() % 2048) * bs).collect();
+                let cfg = ProxyConfig {
+                    cache_blocks: 1024,
+                    prefetch_depth: 0,
+                    ..ProxyConfig::default()
+                };
+                let started = Instant::now();
+                let mut proxy = VfsProxy::new(cfg);
+                let fh = FileHandle(1);
+                for o in &offsets {
+                    if proxy.try_read_hit(fh, *o, bs, SimTime::ZERO).is_none() {
+                        let _ = proxy.note_read_miss(fh, *o, bs, SimTime::ZERO);
+                    }
+                }
+                (churn, started.elapsed())
+            }
+            other => unreachable!("unknown scenario {other}"),
+        };
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        vec![
+            m("ops_per_sec", ops as f64 / secs),
+            m("wall_us", secs * 1e6),
+        ]
+    }
+
+    fn epilogue(&self, report: &harness::ExperimentReport, _opts: &Options) -> Option<String> {
+        let engine = report.scenario(SCENARIOS[0])?;
+        Some(format!(
+            "headline: event throughput {:.0} events/sec (engine chained-event loop, mean of {} samples)",
+            engine.mean("ops_per_sec"),
+            engine.stats("ops_per_sec").map(|s| s.count()).unwrap_or(0),
+        ))
+    }
+}
+
+/// One self-rescheduling simulation event.
+fn chain(w: &mut u64, en: &mut Engine<u64>, target: u64) {
+    *w += 1;
+    if *w < target {
+        en.schedule_in(SimDuration::from_micros(10), move |w: &mut u64, en| {
+            chain(w, en, target)
+        });
+    }
+}
+
+/// Samples executed, recorded via the metrics counter fast path.
+static BASELINE_SAMPLES: Counter = Counter::new("baseline.samples");
+
+fn main() {
+    harness::run_main(&Baseline);
+}

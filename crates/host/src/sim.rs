@@ -10,6 +10,14 @@ use gridvm_simcore::time::{SimDuration, SimTime};
 use crate::background::BackgroundLoad;
 use crate::task::{TaskOutcome, TaskSpec};
 
+use gridvm_simcore::metrics::Counter;
+
+/// World switches charged to completed tasks (hot: once per task,
+/// thousands of tasks per replication).
+static WORLD_SWITCHES: Counter = Counter::new("host.world_switches");
+/// Tasks run to completion.
+static TASKS_COMPLETED: Counter = Counter::new("host.tasks_completed");
+
 /// Static configuration of a simulated physical host.
 #[derive(Clone, Copy, Debug)]
 pub struct HostConfig {
@@ -310,8 +318,8 @@ impl HostSim {
                         overhead_time: task.overhead_time,
                         switches: task.switches,
                     };
-                    gridvm_simcore::metrics::counter_add("host.world_switches", task.switches);
-                    gridvm_simcore::metrics::counter_add("host.tasks_completed", 1);
+                    WORLD_SWITCHES.add(task.switches);
+                    TASKS_COMPLETED.add(1);
                     self.scheduler.charge(id, used);
                     self.scheduler.remove_task(id);
                     self.tasks.remove(&id);

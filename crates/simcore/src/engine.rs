@@ -8,7 +8,13 @@
 //! randomness flowing through [`crate::rng::SimRng`].
 
 use crate::event::{EventId, EventQueue};
+use crate::metrics::Counter;
 use crate::time::{SimDuration, SimTime};
+
+/// Events executed across all engine run loops (pre-resolved handle:
+/// the increment happens once per run call, but runs themselves can be
+/// hot — e.g. the host scheduler's micro-simulations).
+static EVENTS_EXECUTED: Counter = Counter::new("sim.events_executed");
 
 /// An event handler: runs at its scheduled instant with the world and
 /// the engine.
@@ -133,7 +139,7 @@ impl<W> Engine<W> {
         self.horizon = None;
         let before = self.executed;
         while self.step(world) {}
-        crate::metrics::counter_add("sim.events_executed", self.executed - before);
+        EVENTS_EXECUTED.add(self.executed - before);
     }
 
     /// Runs until the queue is empty or the next event lies strictly
@@ -143,7 +149,7 @@ impl<W> Engine<W> {
         self.horizon = Some(deadline);
         let before = self.executed;
         while self.step(world) {}
-        crate::metrics::counter_add("sim.events_executed", self.executed - before);
+        EVENTS_EXECUTED.add(self.executed - before);
         self.horizon = None;
         if self.clock < deadline {
             self.clock = deadline;
@@ -156,7 +162,7 @@ impl<W> Engine<W> {
         while n < max_events && self.step(world) {
             n += 1;
         }
-        crate::metrics::counter_add("sim.events_executed", n);
+        EVENTS_EXECUTED.add(n);
         n
     }
 }

@@ -24,7 +24,11 @@
 //!   summaries used by every experiment harness.
 //! * [`metrics`] — counter/gauge/timer registries recorded into a
 //!   thread-local per-replication context and merged across
-//!   replications.
+//!   replications; pre-resolved [`metrics::Counter`] handles keep
+//!   hot-loop increments off the string-keyed path.
+//! * [`lru`] — the shared O(1) intrusive LRU set
+//!   ([`LruSet`](lru::LruSet)) under the proxy and buffer-cache block
+//!   caches.
 //! * [`replication`] — the [`ReplicationRunner`], which fans N
 //!   independent replications across OS threads while keeping results
 //!   bit-identical for any thread count.
@@ -58,6 +62,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod lru;
 pub mod metrics;
 pub mod replication;
 pub mod rng;
@@ -68,6 +73,7 @@ pub mod trace;
 pub mod units;
 
 pub use engine::Engine;
+pub use lru::LruSet;
 pub use metrics::Metrics;
 pub use replication::{ReplicationCtx, ReplicationRunner};
 pub use rng::SimRng;

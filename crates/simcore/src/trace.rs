@@ -11,6 +11,11 @@ use std::fmt;
 
 use crate::time::SimTime;
 
+use crate::metrics::Counter;
+
+/// Entries discarded by bounded trace logs (hot when a log wraps).
+static TRACE_DROPPED: Counter = Counter::new("trace.dropped");
+
 /// A single trace entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEntry {
@@ -91,7 +96,7 @@ impl TraceLog {
             self.dropped += 1;
             // Surfaced by experiment summaries: silently truncated
             // causal history invalidates trace-based assertions.
-            crate::metrics::counter_add("trace.dropped", 1);
+            TRACE_DROPPED.add(1);
         }
         self.entries.push_back(TraceEntry {
             time,

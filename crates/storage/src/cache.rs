@@ -6,8 +6,12 @@
 //! boot. The cache tracks *which* blocks are resident, not their
 //! bytes — the data plane already holds the bytes; timing is all the
 //! cache influences.
+//!
+//! Recency bookkeeping is the shared O(1) intrusive
+//! [`LruSet`](gridvm_simcore::lru::LruSet); this type adds hit/miss
+//! accounting on top.
 
-use std::collections::{BTreeMap, HashMap};
+use gridvm_simcore::lru::LruSet;
 
 use crate::block::BlockAddr;
 
@@ -27,12 +31,7 @@ use crate::block::BlockAddr;
 /// ```
 #[derive(Clone, Debug)]
 pub struct BufferCache {
-    capacity: usize,
-    /// addr -> last-use stamp
-    resident: HashMap<BlockAddr, u64>,
-    /// stamp -> addr (stamps are unique), for O(log n) LRU eviction
-    by_stamp: BTreeMap<u64, BlockAddr>,
-    clock: u64,
+    resident: LruSet<BlockAddr>,
     hits: u64,
     misses: u64,
 }
@@ -46,10 +45,7 @@ impl BufferCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "zero-capacity cache");
         BufferCache {
-            capacity,
-            resident: HashMap::new(),
-            by_stamp: BTreeMap::new(),
-            clock: 0,
+            resident: LruSet::new(capacity),
             hits: 0,
             misses: 0,
         }
@@ -57,7 +53,7 @@ impl BufferCache {
 
     /// Capacity in blocks.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.resident.capacity()
     }
 
     /// Number of resident blocks.
@@ -73,11 +69,7 @@ impl BufferCache {
     /// Looks up `addr`; on a hit refreshes its recency and returns
     /// `true`. Counts hit/miss statistics.
     pub fn touch(&mut self, addr: BlockAddr) -> bool {
-        self.clock += 1;
-        if let Some(stamp) = self.resident.get_mut(&addr) {
-            self.by_stamp.remove(stamp);
-            *stamp = self.clock;
-            self.by_stamp.insert(self.clock, addr);
+        if self.resident.touch(&addr) {
             self.hits += 1;
             true
         } else {
@@ -88,51 +80,24 @@ impl BufferCache {
 
     /// Checks residency without affecting recency or statistics.
     pub fn contains(&self, addr: BlockAddr) -> bool {
-        self.resident.contains_key(&addr)
+        self.resident.contains(&addr)
     }
 
     /// Inserts `addr` as most-recently-used, evicting the LRU block
     /// if full. Returns the evicted address, if any.
     pub fn insert(&mut self, addr: BlockAddr) -> Option<BlockAddr> {
-        self.clock += 1;
-        if let Some(stamp) = self.resident.get_mut(&addr) {
-            self.by_stamp.remove(stamp);
-            *stamp = self.clock;
-            self.by_stamp.insert(self.clock, addr);
-            return None;
-        }
-        let mut evicted = None;
-        if self.resident.len() == self.capacity {
-            let (&oldest, &victim) = self
-                .by_stamp
-                .iter()
-                .next()
-                .expect("cache is non-empty when full");
-            self.by_stamp.remove(&oldest);
-            self.resident.remove(&victim);
-            evicted = Some(victim);
-        }
-        self.resident.insert(addr, self.clock);
-        self.by_stamp.insert(self.clock, addr);
-        evicted
+        self.resident.insert(addr)
     }
 
     /// Removes `addr` (e.g. on invalidation). Returns whether it was
     /// resident.
     pub fn evict(&mut self, addr: BlockAddr) -> bool {
-        match self.resident.remove(&addr) {
-            Some(stamp) => {
-                self.by_stamp.remove(&stamp);
-                true
-            }
-            None => false,
-        }
+        self.resident.remove(&addr)
     }
 
     /// Drops everything (e.g. host reboot).
     pub fn clear(&mut self) {
         self.resident.clear();
-        self.by_stamp.clear();
     }
 
     /// Lookup hits so far.

@@ -17,6 +17,11 @@ use gridvm_simcore::units::Bandwidth;
 
 use crate::protocol::{NfsError, NfsRequest, NfsResponse, NFS_BLOCK};
 use crate::proxy::VfsProxy;
+
+use gridvm_simcore::metrics::Counter;
+
+/// RPC round-trips to the NFS server (hot: one per uncached block).
+static RPC_ROUND_TRIPS: Counter = Counter::new("vfs.rpc_round_trips");
 use crate::server::NfsServer;
 
 /// A bidirectional RPC transport with per-call stack overhead.
@@ -225,7 +230,7 @@ impl Mount {
         }
         // Full RPC to the server.
         self.rpcs_sent += 1;
-        gridvm_simcore::metrics::counter_add("vfs.rpc_round_trips", 1);
+        RPC_ROUND_TRIPS.add(1);
         let (server_done, result) = self.server.handle(now, req.clone());
         let resp_size = match &result {
             Ok(r) => r.wire_size().as_u64(),
@@ -247,7 +252,7 @@ impl Mount {
                         len: pf_len,
                     };
                     self.rpcs_sent += 1;
-                    gridvm_simcore::metrics::counter_add("vfs.rpc_round_trips", 1);
+                    RPC_ROUND_TRIPS.add(1);
                     let _ = self.server.handle(done, pf);
                     proxy.install(*fh, pf_offset, pf_len);
                 }

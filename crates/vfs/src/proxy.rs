@@ -8,9 +8,18 @@
 //! stay within a couple of percent of local execution, and what the
 //! ablation bench `ablation_proxy_cache` switches off.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
+use gridvm_simcore::lru::LruSet;
+use gridvm_simcore::metrics::Counter;
 use gridvm_simcore::time::{SimDuration, SimTime};
+
+/// Blocks served from the proxy cache (hot: one add per read hit).
+static PROXY_HITS: Counter = Counter::new("vfs.proxy_hits");
+/// Read misses forwarded to the server.
+static PROXY_MISSES: Counter = Counter::new("vfs.proxy_misses");
+/// Blocks fetched ahead of demand.
+static PROXY_PREFETCHED: Counter = Counter::new("vfs.proxy_prefetched");
 
 use crate::fs::{FileHandle, InMemoryFs};
 use crate::protocol::NFS_BLOCK;
@@ -69,11 +78,8 @@ impl ProxyConfig {
 #[derive(Clone, Debug)]
 pub struct VfsProxy {
     config: ProxyConfig,
-    /// (file, block) -> recency stamp.
-    cache: HashMap<(u64, u64), u64>,
-    /// stamp -> (file, block), for O(log n) LRU eviction.
-    by_stamp: BTreeMap<u64, (u64, u64)>,
-    clock: u64,
+    /// `(file, block)` residency with O(1) recency bookkeeping.
+    cache: LruSet<(u64, u64)>,
     /// Per-file last read end offset, for sequentiality detection.
     last_read_end: HashMap<u64, u64>,
     buffered_blocks: usize,
@@ -86,11 +92,10 @@ pub struct VfsProxy {
 impl VfsProxy {
     /// Creates a cold proxy.
     pub fn new(config: ProxyConfig) -> Self {
+        let config = config.validated();
         VfsProxy {
-            config: config.validated(),
-            cache: HashMap::new(),
-            by_stamp: BTreeMap::new(),
-            clock: 0,
+            cache: LruSet::new(config.cache_blocks),
+            config,
             last_read_end: HashMap::new(),
             buffered_blocks: 0,
             hits: 0,
@@ -131,36 +136,11 @@ impl VfsProxy {
     }
 
     fn touch(&mut self, key: (u64, u64)) -> bool {
-        self.clock += 1;
-        if let Some(stamp) = self.cache.get_mut(&key) {
-            self.by_stamp.remove(stamp);
-            *stamp = self.clock;
-            self.by_stamp.insert(self.clock, key);
-            true
-        } else {
-            false
-        }
+        self.cache.touch(&key)
     }
 
     fn insert(&mut self, key: (u64, u64)) {
-        self.clock += 1;
-        if let Some(stamp) = self.cache.get_mut(&key) {
-            self.by_stamp.remove(stamp);
-            *stamp = self.clock;
-            self.by_stamp.insert(self.clock, key);
-            return;
-        }
-        if self.cache.len() == self.config.cache_blocks {
-            let (&oldest, &victim) = self
-                .by_stamp
-                .iter()
-                .next()
-                .expect("cache non-empty when full");
-            self.by_stamp.remove(&oldest);
-            self.cache.remove(&victim);
-        }
-        self.cache.insert(key, self.clock);
-        self.by_stamp.insert(self.clock, key);
+        self.cache.insert(key);
     }
 
     /// If every block of `[offset, offset+len)` in `fh` is cached,
@@ -176,7 +156,7 @@ impl VfsProxy {
         if blocks.is_empty() {
             return Some(now);
         }
-        let all_cached = blocks.iter().all(|b| self.cache.contains_key(&(fh.0, b.0)));
+        let all_cached = blocks.iter().all(|b| self.cache.contains(&(fh.0, b.0)));
         if !all_cached {
             return None;
         }
@@ -185,7 +165,7 @@ impl VfsProxy {
             debug_assert!(hit);
         }
         self.hits += blocks.len() as u64;
-        gridvm_simcore::metrics::counter_add("vfs.proxy_hits", blocks.len() as u64);
+        PROXY_HITS.add(blocks.len() as u64);
         self.last_read_end.insert(fh.0, offset + len);
         Some(now + self.config.hit_cost * blocks.len() as u64)
     }
@@ -206,7 +186,7 @@ impl VfsProxy {
             .get(&fh.0)
             .is_some_and(|end| *end == offset);
         self.misses += 1;
-        gridvm_simcore::metrics::counter_add("vfs.proxy_misses", 1);
+        PROXY_MISSES.add(1);
         self.install(fh, offset, len);
         self.last_read_end.insert(fh.0, offset + len);
         if !sequential || self.config.prefetch_depth == 0 {
@@ -218,13 +198,13 @@ impl VfsProxy {
         for i in 0..self.config.prefetch_depth {
             let pf_offset = next + i * bs;
             let first_block = pf_offset / bs;
-            if self.cache.contains_key(&(fh.0, first_block)) {
+            if self.cache.contains(&(fh.0, first_block)) {
                 continue;
             }
             out.push((pf_offset, bs));
         }
         self.prefetched += out.len() as u64;
-        gridvm_simcore::metrics::counter_add("vfs.proxy_prefetched", out.len() as u64);
+        PROXY_PREFETCHED.add(out.len() as u64);
         out
     }
 

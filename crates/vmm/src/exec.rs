@@ -11,6 +11,7 @@
 //!   overlap with computation (sequential scientific codes overlap
 //!   almost fully thanks to OS read-ahead and the PVFS prefetcher).
 
+use gridvm_simcore::metrics::Counter;
 use gridvm_simcore::rng::SimRng;
 use gridvm_simcore::time::{SimDuration, SimTime};
 use gridvm_simcore::units::ByteSize;
@@ -19,6 +20,11 @@ use gridvm_storage::disk::{AccessKind, DiskModel};
 use gridvm_workloads::{AppProfile, IoPattern};
 
 use crate::costmodel::VirtCostModel;
+
+/// Guest executions under trap-and-emulate (hot: once per app run).
+static GUEST_RUNS: Counter = Counter::new("vmm.guest_runs");
+/// Traps taken by the monitor (syscalls + I/O blocks).
+static TRAPS: Counter = Counter::new("vmm.traps");
 
 /// The I/O unit of the execution model (matches the NFS transfer
 /// size).
@@ -147,10 +153,10 @@ pub fn run_app(
     let mut sys = syscall_cost * app.syscalls() + io_kernel_cost * io_blocks;
     sys += storage.client_cpu_per_block() * io_blocks;
     if mode == ExecMode::Virtualized {
-        gridvm_simcore::metrics::counter_add("vmm.guest_runs", 1);
+        GUEST_RUNS.add(1);
         // Every syscall and every I/O block traps into the monitor
         // under trap-and-emulate.
-        gridvm_simcore::metrics::counter_add("vmm.traps", app.syscalls() + io_blocks);
+        TRAPS.add(app.syscalls() + io_blocks);
     }
 
     // --- I/O replay ------------------------------------------------------
