@@ -1,0 +1,245 @@
+//! `audit.toml` allowlist parsing and matching.
+//!
+//! The allowlist records *audited exceptions*: places where a flagged
+//! construct is deliberate and its safety argument has been written
+//! down. The format is a minimal TOML subset parsed by hand (the
+//! workspace has no TOML dependency):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "wall-clock"
+//! path = "crates/bench/src"
+//! reason = "benchmark harness measures real elapsed time by design"
+//! ```
+//!
+//! `rule` must name a rule from the catalogue (or `"*"` for any),
+//! `path` is a workspace-relative prefix, and `reason` is mandatory —
+//! an allowlist entry without a written justification defeats the
+//! point of having one.
+
+use crate::rules::{Finding, RULES};
+
+/// One `[[allow]]` entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule name this entry suppresses, or `"*"` for every rule.
+    pub rule: String,
+    /// Workspace-relative path prefix the suppression applies to.
+    pub path: String,
+    /// Written justification (mandatory).
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header, for diagnostics.
+    pub line: u32,
+}
+
+/// The parsed allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// All entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A fatal problem in the allowlist file itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line the problem was detected on.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "audit.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Allowlist {
+    /// Parses the `audit.toml` text. Unknown keys, missing `reason`s,
+    /// and rule names outside the catalogue are hard errors: a typo in
+    /// a suppression must not silently re-enable (or widen) it.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(done) = current.take() {
+                    validate(&done)?;
+                    entries.push(done);
+                }
+                current = Some(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    reason: String::new(),
+                    line: lineno,
+                });
+                continue;
+            }
+            let Some((key, value)) = parse_kv(line) else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `[[allow]]` or `key = \"value\"`, got `{line}`"),
+                });
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("`{key}` outside an [[allow]] table"),
+                });
+            };
+            match key {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "reason" => entry.reason = value,
+                other => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown key `{other}` (expected rule/path/reason)"),
+                    });
+                }
+            }
+        }
+        if let Some(done) = current.take() {
+            validate(&done)?;
+            entries.push(done);
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Index of the first entry suppressing `finding` at `path`, if
+    /// any. Returning the index lets the caller track which entries
+    /// were actually used and warn about stale ones.
+    pub fn matches(&self, path: &str, finding: &Finding) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            (e.rule == "*" || e.rule == finding.rule) && path.starts_with(e.path.as_str())
+        })
+    }
+}
+
+fn validate(entry: &AllowEntry) -> Result<(), ConfigError> {
+    let known = entry.rule == "*" || RULES.iter().any(|r| r.name == entry.rule);
+    if !known {
+        return Err(ConfigError {
+            line: entry.line,
+            message: format!(
+                "unknown rule `{}` (run --list-rules for the catalogue)",
+                entry.rule
+            ),
+        });
+    }
+    if entry.path.is_empty() {
+        return Err(ConfigError {
+            line: entry.line,
+            message: "entry is missing `path`".to_owned(),
+        });
+    }
+    if entry.reason.is_empty() {
+        return Err(ConfigError {
+            line: entry.line,
+            message: "entry is missing `reason`; every suppression needs a written \
+                      justification"
+                .to_owned(),
+        });
+    }
+    Ok(())
+}
+
+/// Strips a `#` comment, ignoring `#` inside double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `key = "value"`.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    let rest = rest.trim();
+    let value = rest.strip_prefix('"')?.strip_suffix('"')?;
+    if !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    Some((key, value.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str) -> Finding {
+        Finding {
+            rule,
+            line: 1,
+            col: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_matches_by_prefix() {
+        let text = "\
+# audited exceptions\n\
+[[allow]]\n\
+rule = \"wall-clock\"\n\
+path = \"crates/bench/src\"\n\
+reason = \"real timers are the point of a benchmark\"\n\
+\n\
+[[allow]]\n\
+rule = \"*\"\n\
+path = \"crates/audit/tests/fixtures\"\n\
+reason = \"fixtures exist to trip the rules\"\n";
+        let list = Allowlist::parse(text).expect("parses");
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(
+            list.matches("crates/bench/src/harness.rs", &finding("wall-clock")),
+            Some(0)
+        );
+        assert_eq!(
+            list.matches("crates/bench/src/harness.rs", &finding("unwrap-lib")),
+            None
+        );
+        assert_eq!(
+            list.matches("crates/audit/tests/fixtures/bad.rs", &finding("static-mut")),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn missing_reason_is_fatal() {
+        let text = "[[allow]]\nrule = \"wall-clock\"\npath = \"crates/bench\"\n";
+        let err = Allowlist::parse(text).unwrap_err();
+        assert!(err.message.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_rule_is_fatal() {
+        let text = "[[allow]]\nrule = \"wall-clocks\"\npath = \"x\"\nreason = \"typo\"\n";
+        let err = Allowlist::parse(text).unwrap_err();
+        assert!(err.message.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn keys_outside_a_table_are_fatal() {
+        let err = Allowlist::parse("rule = \"wall-clock\"\n").unwrap_err();
+        assert!(err.message.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# nothing but comments\n   # indented\n";
+        let list = Allowlist::parse(text).expect("parses");
+        assert!(list.entries.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! CLI entry point for the workspace determinism linter.
+//!
+//! ```text
+//! cargo run -p gridvm-audit                 # report findings
+//! cargo run -p gridvm-audit -- --deny       # CI mode: findings fail
+//! cargo run -p gridvm-audit -- --list-rules # print the catalogue
+//! cargo run -p gridvm-audit -- --file crates/audit/tests/fixtures/bad_hash.rs \
+//!       --treat-as sched                    # scan one file in a given crate context
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use gridvm_audit::config::Allowlist;
+use gridvm_audit::rules::RULES;
+use gridvm_audit::{find_workspace_root, scan_source, scan_workspace};
+
+struct Options {
+    deny: bool,
+    list_rules: bool,
+    root: Option<PathBuf>,
+    file: Option<PathBuf>,
+    treat_as: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny: false,
+        list_rules: false,
+        root: None,
+        file: None,
+        treat_as: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" | "-D" => opts.deny = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                let v = args.next().ok_or("--root needs a path")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--file" => {
+                let v = args.next().ok_or("--file needs a path")?;
+                opts.file = Some(PathBuf::from(v));
+            }
+            "--treat-as" => {
+                let v = args.next().ok_or("--treat-as needs a crate name")?;
+                opts.treat_as = Some(v);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "gridvm-audit: workspace determinism linter\n\n\
+                     USAGE: gridvm-audit [--deny] [--list-rules] [--root DIR]\n\
+                            [--file PATH [--treat-as CRATE]]\n\n\
+                     --deny        exit non-zero on any non-allowlisted finding (CI mode)\n\
+                     --list-rules  print the rule catalogue and exit\n\
+                     --root DIR    workspace root (default: auto-detect from cwd)\n\
+                     --file PATH   scan a single file instead of the workspace\n\
+                     --treat-as C  with --file: classify the file as library code of crate C"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("gridvm-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        println!("gridvm-audit rule catalogue:\n");
+        for rule in RULES {
+            println!("  {:<16} {}", rule.name, rule.summary);
+        }
+        println!("\nSuppressions live in audit.toml ([[allow]] rule/path/reason).");
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("gridvm-audit: cannot read cwd: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match opts.root.or_else(|| find_workspace_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!("gridvm-audit: no workspace root found (looked for Cargo.toml + crates/)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let allow = match load_allowlist(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gridvm-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(file) = &opts.file {
+        return scan_single_file(file, opts.treat_as.as_deref(), &allow, opts.deny);
+    }
+
+    let report = match scan_workspace(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gridvm-audit: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for file in &report.files {
+        for f in &file.findings {
+            println!(
+                "{}:{}:{}: [{}] {}",
+                file.path, f.line, f.col, f.rule, f.message
+            );
+        }
+    }
+    if !report.unused_allows.is_empty() {
+        for idx in &report.unused_allows {
+            let e = &allow.entries[*idx];
+            eprintln!(
+                "warning: audit.toml:{}: allow entry (rule `{}`, path `{}`) matched nothing \
+                 — delete it if the exception is gone",
+                e.line, e.rule, e.path
+            );
+        }
+    }
+    let active = report.active_findings();
+    println!(
+        "gridvm-audit: {} file(s) scanned, {} finding(s), {} allowlisted",
+        report.scanned,
+        active,
+        report.suppressed_findings()
+    );
+    if active > 0 && opts.deny {
+        eprintln!(
+            "gridvm-audit: failing (--deny): fix the findings or add audited audit.toml entries"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn scan_single_file(
+    file: &Path,
+    treat_as: Option<&str>,
+    allow: &Allowlist,
+    deny: bool,
+) -> ExitCode {
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gridvm-audit: cannot read {}: {e}", file.display());
+            return ExitCode::from(2);
+        }
+    };
+    let rel = file.to_string_lossy().replace('\\', "/");
+    let report = scan_source(&rel, &src, treat_as, allow);
+    for f in &report.findings {
+        println!(
+            "{}:{}:{}: [{}] {}",
+            report.path, f.line, f.col, f.rule, f.message
+        );
+    }
+    println!(
+        "gridvm-audit: 1 file scanned, {} finding(s), {} allowlisted",
+        report.findings.len(),
+        report.suppressed.len()
+    );
+    if !report.findings.is_empty() && deny {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
+    let path = root.join("audit.toml");
+    if !path.is_file() {
+        return Ok(Allowlist::default());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading audit.toml: {e}"))?;
+    Allowlist::parse(&text).map_err(|e| e.to_string())
+}

@@ -1,0 +1,547 @@
+//! The determinism rule catalogue and the scanner that applies it.
+//!
+//! Every rule is a short token-sequence pattern over the output of
+//! [`crate::lexer`], evaluated with file context (which crate the file
+//! belongs to, whether it is library / binary / test / bench code, and
+//! which token ranges sit inside `#[cfg(test)]` modules). The rules
+//! encode the workspace's determinism contract (DESIGN.md §8):
+//!
+//! | rule | hazard |
+//! |------|--------|
+//! | `hash-container`  | `HashMap`/`HashSet` state in sim-state crates: iteration and (historically) eviction order depend on the hasher, not the operation sequence |
+//! | `wall-clock`      | `Instant`/`SystemTime`: real time leaks into simulated results |
+//! | `unseeded-rand`   | `thread_rng`/`OsRng`/`RandomState`/...: randomness outside the seeded [`SimRng`](https://docs.rs) stream |
+//! | `static-mut`      | `static mut`: cross-replication shared mutable state |
+//! | `float-accum`     | float reduction (`sum`/`fold`/`+=`) over an unordered hash iteration: result depends on visit order |
+//! | `unwrap-lib`      | `.unwrap()` in library code: panics without an invariant message |
+
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Crates whose *state* feeds simulation results. A hash container
+/// here is a latent nondeterminism bomb even when today's code never
+/// iterates it: the next refactor can start iterating without any
+/// reviewer noticing.
+pub const SIM_STATE_CRATES: &[&str] = &[
+    "simcore",
+    "sched",
+    "vnet",
+    "storage",
+    "host",
+    "vfs",
+    "core",
+    "gridmw",
+    "vmm",
+    "workloads",
+    "hostload",
+];
+
+/// Where a source file sits in the workspace, which decides which
+/// rules apply to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceKind {
+    /// Library code (`src/` excluding binary targets).
+    Lib,
+    /// A binary target (`src/main.rs`, `src/bin/*`).
+    Bin,
+    /// Integration tests (`tests/`).
+    Test,
+    /// Benchmarks (`benches/`).
+    Bench,
+    /// Examples (`examples/`).
+    Example,
+}
+
+/// The scanning context for one file.
+#[derive(Clone, Debug)]
+pub struct FileContext {
+    /// Short crate name (`"sched"`, `"bench"`, `"gridvm"` for the
+    /// facade crate).
+    pub crate_name: String,
+    /// What kind of target the file belongs to.
+    pub kind: SourceKind,
+}
+
+impl FileContext {
+    /// Derives the context from a workspace-relative path such as
+    /// `crates/sched/src/wfq.rs`.
+    pub fn from_path(rel_path: &str) -> Self {
+        let parts: Vec<&str> = rel_path.split('/').collect();
+        let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+            parts[1].to_owned()
+        } else {
+            "gridvm".to_owned()
+        };
+        let kind = if parts.contains(&"tests") {
+            SourceKind::Test
+        } else if parts.contains(&"benches") {
+            SourceKind::Bench
+        } else if parts.contains(&"examples") {
+            SourceKind::Example
+        } else if parts.contains(&"bin") || parts.last() == Some(&"main.rs") {
+            SourceKind::Bin
+        } else {
+            SourceKind::Lib
+        };
+        FileContext { crate_name, kind }
+    }
+
+    fn is_sim_state(&self) -> bool {
+        SIM_STATE_CRATES.contains(&self.crate_name.as_str())
+    }
+}
+
+/// One diagnostic produced by the scanner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (e.g. `"hash-container"`).
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// A rule's catalogue entry, for `--list-rules` and DESIGN.md.
+pub struct RuleInfo {
+    /// Rule identifier as it appears in diagnostics and `audit.toml`.
+    pub name: &'static str,
+    /// One-line description of the hazard the rule detects.
+    pub summary: &'static str,
+}
+
+/// The rule catalogue, in diagnostic-name order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "float-accum",
+        summary: "float reduction (sum/fold/product or `+=`) over HashMap/HashSet iteration: \
+                  result depends on hasher-determined visit order",
+    },
+    RuleInfo {
+        name: "hash-container",
+        summary: "HashMap/HashSet state in a sim-state crate: iteration order is a latent \
+                  nondeterminism hazard; use BTreeMap/BTreeSet or an index arena",
+    },
+    RuleInfo {
+        name: "static-mut",
+        summary: "`static mut` global: shared mutable state breaks replication isolation \
+                  and is unsound under threads",
+    },
+    RuleInfo {
+        name: "unseeded-rand",
+        summary: "randomness that bypasses the seeded SimRng stream (thread_rng, OsRng, \
+                  RandomState, from_entropy, getrandom)",
+    },
+    RuleInfo {
+        name: "unwrap-lib",
+        summary: ".unwrap() in library (non-test) code: panic without an invariant message; \
+                  use typed errors or expect(\"<invariant>\")",
+    },
+    RuleInfo {
+        name: "wall-clock",
+        summary: "Instant/SystemTime outside the bench harness: real time leaking into \
+                  simulated results",
+    },
+];
+
+const UNSEEDED_IDENTS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "RandomState",
+    "getrandom",
+];
+
+/// Scans one file's source text and returns every rule violation.
+pub fn scan(src: &str, ctx: &FileContext) -> Vec<Finding> {
+    let toks = tokenize(src);
+    let test_regions = find_test_regions(&toks);
+    let in_test = |i: usize| test_regions.iter().any(|r| r.contains(&i));
+    let hash_names = collect_hash_names(&toks);
+    let mut out = Vec::new();
+
+    for (i, t) in toks.iter().enumerate() {
+        if in_test(i) {
+            continue;
+        }
+        if let TokenKind::Ident(name) = &t.kind {
+            match name.as_str() {
+                "HashMap" | "HashSet" if ctx.is_sim_state() && ctx.kind == SourceKind::Lib => {
+                    out.push(Finding {
+                        rule: "hash-container",
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "{name} in sim-state crate `{}`: iteration order is \
+                             hasher-dependent; use BTreeMap/BTreeSet or an index arena",
+                            ctx.crate_name
+                        ),
+                    });
+                }
+                "Instant" | "SystemTime" => {
+                    out.push(Finding {
+                        rule: "wall-clock",
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "{name} reads the wall clock; simulated components must use \
+                             SimTime (allowlist real-time benchmark timers in audit.toml)"
+                        ),
+                    });
+                }
+                "static" if toks.get(i + 1).is_some_and(|n| n.is_ident("mut")) => {
+                    out.push(Finding {
+                        rule: "static-mut",
+                        line: t.line,
+                        col: t.col,
+                        message: "static mut: shared mutable global state breaks \
+                                  replication isolation; use thread-local or pass state \
+                                  explicitly"
+                            .to_owned(),
+                    });
+                }
+                "unwrap"
+                    if ctx.kind == SourceKind::Lib
+                        && i > 0
+                        && toks[i - 1].is_punct('.')
+                        && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+                {
+                    out.push(Finding {
+                        rule: "unwrap-lib",
+                        line: t.line,
+                        col: t.col,
+                        message: ".unwrap() in library code: convert to a typed error or \
+                                  expect(\"<invariant that makes this infallible>\")"
+                            .to_owned(),
+                    });
+                }
+                _ if UNSEEDED_IDENTS.contains(&name.as_str()) => {
+                    out.push(Finding {
+                        rule: "unseeded-rand",
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "{name} draws unseeded randomness; all stochastic behaviour \
+                             must flow through the seeded SimRng streams"
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    scan_float_accum(&toks, &hash_names, &in_test, &mut out);
+    out.sort_by_key(|f| (f.line, f.col, f.rule));
+    out
+}
+
+/// Token index ranges covered by `#[cfg(test)]` items.
+fn find_test_regions(toks: &[Token]) -> Vec<std::ops::Range<usize>> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 4).is_some_and(|t| t.is_ident("test"))
+            && toks.get(i + 5).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct(']'))
+        {
+            // The guarded item runs to the matching `}` of its first
+            // brace, or to the first `;` for brace-less items.
+            let mut j = i + 7;
+            let mut depth = 0usize;
+            let start = i;
+            let mut end = None;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokenKind::Punct('{') => depth += 1,
+                    TokenKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = Some(j + 1);
+                            break;
+                        }
+                    }
+                    TokenKind::Punct(';') if depth == 0 => {
+                        end = Some(j + 1);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end = end.unwrap_or(toks.len());
+            regions.push(start..end);
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Names declared with a hash-container type in this file: struct
+/// fields and lets with `name: HashMap<...>` annotations, plus
+/// `let name = HashMap::...` initializations.
+fn collect_hash_names(toks: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        let is_hash = |t: &Token| t.is_ident("HashMap") || t.is_ident("HashSet");
+        // `name : HashMap <`
+        if let Some(name) = toks[i].ident() {
+            if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(is_hash)
+                && toks.get(i + 3).is_some_and(|t| t.is_punct('<'))
+            {
+                names.push(name.to_owned());
+            }
+        }
+        // `let [mut] name = HashMap ::` / `= HashSet ::`
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).and_then(Token::ident) {
+                if toks.get(j + 1).is_some_and(|t| t.is_punct('='))
+                    && toks.get(j + 2).is_some_and(is_hash)
+                {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Detects float-accumulation-over-hash-iteration: `x.values().sum()`
+/// chains and `for` loops over hash containers whose bodies `+=`.
+fn scan_float_accum(
+    toks: &[Token],
+    hash_names: &[String],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let is_hash_name = |t: &Token| t.ident().is_some_and(|n| hash_names.iter().any(|h| h == n));
+    let is_iter_method =
+        |t: &Token| t.is_ident("values") || t.is_ident("keys") || t.is_ident("iter");
+
+    for i in 0..toks.len() {
+        if in_test(i) || !is_hash_name(&toks[i]) {
+            continue;
+        }
+        // Pattern A: `name . values ( ) ... . sum|fold|product (` within
+        // the same statement.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && toks.get(i + 2).is_some_and(is_iter_method)
+        {
+            let mut j = i + 3;
+            let limit = (i + 80).min(toks.len());
+            while j < limit && !toks[j].is_punct(';') {
+                if toks[j].is_punct('.')
+                    && toks.get(j + 1).is_some_and(|t| {
+                        t.is_ident("sum") || t.is_ident("fold") || t.is_ident("product")
+                    })
+                {
+                    let t = &toks[j + 1];
+                    out.push(Finding {
+                        rule: "float-accum",
+                        line: t.line,
+                        col: t.col,
+                        message: "reduction over a hash container's iteration order: \
+                                  float accumulation is order-sensitive; iterate a \
+                                  BTreeMap or collect-and-sort first"
+                            .to_owned(),
+                    });
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+
+    // Pattern B: `for _ in <header mentioning a hash name> { ... += ... }`
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("for") || in_test(i) {
+            i += 1;
+            continue;
+        }
+        // Find the `{` opening the loop body; the header is everything
+        // after `in` up to it.
+        let mut j = i + 1;
+        let mut saw_in = false;
+        let mut header_has_hash = false;
+        let mut depth = 0usize;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth = depth.saturating_sub(1),
+                TokenKind::Punct('{') if depth == 0 && saw_in => break,
+                _ => {
+                    if toks[j].is_ident("in") && depth == 0 {
+                        saw_in = true;
+                    } else if saw_in && is_hash_name(&toks[j]) {
+                        header_has_hash = true;
+                    }
+                }
+            }
+            j += 1;
+        }
+        if !header_has_hash || j >= toks.len() {
+            i += 1;
+            continue;
+        }
+        // Walk the body for `+=` (adjacent `+` `=`).
+        let body_start = j;
+        let mut depth = 0usize;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Punct('+')
+                    if toks.get(j + 1).is_some_and(|n| {
+                        n.is_punct('=') && n.line == toks[j].line && n.col == toks[j].col + 1
+                    }) =>
+                {
+                    out.push(Finding {
+                        rule: "float-accum",
+                        line: toks[j].line,
+                        col: toks[j].col,
+                        message: "accumulation inside a loop over a hash container: \
+                                  visit order is hasher-dependent; iterate an ordered \
+                                  container instead"
+                            .to_owned(),
+                    });
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = body_start + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx(krate: &str) -> FileContext {
+        FileContext {
+            crate_name: krate.to_owned(),
+            kind: SourceKind::Lib,
+        }
+    }
+
+    fn rules_fired(src: &str, ctx: &FileContext) -> Vec<&'static str> {
+        scan(src, ctx).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hash_container_fires_only_in_sim_state_lib_code() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_fired(src, &lib_ctx("sched")), vec!["hash-container"]);
+        assert!(rules_fired(src, &lib_ctx("bench")).is_empty());
+        let test_ctx = FileContext {
+            crate_name: "sched".into(),
+            kind: SourceKind::Test,
+        };
+        assert!(rules_fired(src, &test_ctx).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "\
+struct S;\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    use std::collections::HashMap;\n\
+    fn f() { let x: Option<u32> = None; x.unwrap(); }\n\
+}\n";
+        assert!(rules_fired(src, &lib_ctx("sched")).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_static_mut_and_rand() {
+        let src = "\
+use std::time::Instant;\n\
+static mut COUNTER: u64 = 0;\n\
+fn f() { let r = rand::thread_rng(); let t = Instant::now(); }\n";
+        let fired = rules_fired(src, &lib_ctx("core"));
+        assert!(fired.contains(&"wall-clock"));
+        assert!(fired.contains(&"static-mut"));
+        assert!(fired.contains(&"unseeded-rand"));
+    }
+
+    #[test]
+    fn unwrap_flagged_in_lib_not_bin() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_fired(src, &lib_ctx("vfs")), vec!["unwrap-lib"]);
+        let bin_ctx = FileContext {
+            crate_name: "bench".into(),
+            kind: SourceKind::Bin,
+        };
+        assert!(rules_fired(src, &bin_ctx).is_empty());
+        // unwrap_or_else is not unwrap
+        let src2 = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n";
+        assert!(rules_fired(src2, &lib_ctx("vfs")).is_empty());
+    }
+
+    #[test]
+    fn float_accum_chain_and_loop_detected() {
+        let src = "\
+struct S { vals: HashMap<u32, f64> }\n\
+impl S {\n\
+    fn total(&self) -> f64 { self.vals.values().map(|v| *v).sum() }\n\
+    fn loop_total(&self) -> f64 {\n\
+        let mut t = 0.0;\n\
+        for v in self.vals.values() {\n\
+            t += v;\n\
+        }\n\
+        t\n\
+    }\n\
+}\n";
+        let findings = scan(src, &lib_ctx("sched"));
+        let accum: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "float-accum")
+            .collect();
+        assert_eq!(accum.len(), 2, "{findings:?}");
+        assert_eq!(accum[0].line, 3);
+        assert_eq!(accum[1].line, 7);
+    }
+
+    #[test]
+    fn mentions_in_comments_and_strings_do_not_fire() {
+        let src = "\
+// HashMap is discussed here, Instant too\n\
+fn f() -> &'static str { \"HashMap Instant thread_rng static mut\" }\n";
+        assert!(rules_fired(src, &lib_ctx("sched")).is_empty());
+    }
+
+    #[test]
+    fn context_from_path_classification() {
+        let c = FileContext::from_path("crates/sched/src/wfq.rs");
+        assert_eq!((c.crate_name.as_str(), c.kind), ("sched", SourceKind::Lib));
+        let c = FileContext::from_path("crates/bench/src/bin/fig1_micro.rs");
+        assert_eq!((c.crate_name.as_str(), c.kind), ("bench", SourceKind::Bin));
+        let c = FileContext::from_path("tests/determinism.rs");
+        assert_eq!(
+            (c.crate_name.as_str(), c.kind),
+            ("gridvm", SourceKind::Test)
+        );
+        let c = FileContext::from_path("crates/simcore/benches/event_queue.rs");
+        assert_eq!(c.kind, SourceKind::Bench);
+    }
+}

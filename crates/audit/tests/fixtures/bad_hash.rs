@@ -1,0 +1,22 @@
+//! Known-bad fixture: hash-container and float-accum hazards.
+//! The fixture tests assert these exact line/column positions; keep
+//! edits in sync with `fixtures_test.rs`.
+use std::collections::HashMap;
+
+pub struct Tracker {
+    weights: HashMap<u64, f64>,
+}
+
+impl Tracker {
+    pub fn total(&self) -> f64 {
+        self.weights.values().copied().sum()
+    }
+
+    pub fn loop_total(&self) -> f64 {
+        let mut acc = 0.0;
+        for w in self.weights.values() {
+            acc += *w;
+        }
+        acc
+    }
+}

@@ -13,7 +13,7 @@
 //! least-loaded VM under a logical account lease, stay sticky while
 //! active, and release both on detach.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gridvm_gridmw::accounts::{AccountError, AccountPool, LocalAccount};
 use gridvm_simcore::time::SimTime;
@@ -81,7 +81,7 @@ pub struct ServiceProvider {
     vms: Vec<ProviderVm>,
     per_vm_capacity: usize,
     accounts: AccountPool,
-    assignments: HashMap<String, (usize, LocalAccount)>,
+    assignments: BTreeMap<String, (usize, LocalAccount)>,
 }
 
 impl ServiceProvider {
@@ -111,7 +111,7 @@ impl ServiceProvider {
                 .collect(),
             per_vm_capacity,
             accounts,
-            assignments: HashMap::new(),
+            assignments: BTreeMap::new(),
         }
     }
 

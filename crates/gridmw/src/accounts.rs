@@ -9,7 +9,7 @@
 //! host still needs a local account to run each VMM process under;
 //! that is what this pool manages.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gridvm_simcore::time::{SimDuration, SimTime};
 
@@ -56,7 +56,7 @@ pub struct AccountPool {
     accounts: Vec<LocalAccount>,
     lease_time: SimDuration,
     /// grid identity -> (account index, expiry)
-    leases: HashMap<String, (usize, SimTime)>,
+    leases: BTreeMap<String, (usize, SimTime)>,
 }
 
 impl AccountPool {
@@ -74,7 +74,7 @@ impl AccountPool {
                 .map(|n| LocalAccount((*n).to_owned()))
                 .collect(),
             lease_time,
-            leases: HashMap::new(),
+            leases: BTreeMap::new(),
         }
     }
 

@@ -8,7 +8,7 @@
 //! LAN, matching the floor visible in the paper's fastest row
 //! (12.4 s restore = middleware + 128 MB state read).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gridvm_simcore::server::FifoServer;
 use gridvm_simcore::time::{SimDuration, SimTime};
@@ -123,7 +123,7 @@ pub struct GramServer {
     costs: GramCosts,
     mapfile: Vec<String>,
     gatekeeper: FifoServer,
-    jobs: HashMap<JobId, Job>,
+    jobs: BTreeMap<JobId, Job>,
     next_id: u64,
 }
 

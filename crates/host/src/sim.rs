@@ -1,6 +1,6 @@
 //! The quantum-stepped multicore execution loop.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use gridvm_hostload::TracePlayback;
 use gridvm_sched::{Scheduler, TaskId};
@@ -125,10 +125,10 @@ pub struct HostSim {
     rng: SimRng,
     now: SimTime,
     next_id: u64,
-    tasks: HashMap<TaskId, RunningTask>,
-    finished: HashMap<TaskId, TaskOutcome>,
+    tasks: BTreeMap<TaskId, RunningTask>,
+    finished: BTreeMap<TaskId, TaskOutcome>,
     background: Option<BackgroundLoad>,
-    ran_last: HashSet<TaskId>,
+    ran_last: BTreeSet<TaskId>,
     busy: SimDuration,
 }
 
@@ -152,10 +152,10 @@ impl HostSim {
             rng,
             now: SimTime::ZERO,
             next_id: 0,
-            tasks: HashMap::new(),
-            finished: HashMap::new(),
+            tasks: BTreeMap::new(),
+            finished: BTreeMap::new(),
             background: None,
-            ran_last: HashSet::new(),
+            ran_last: BTreeSet::new(),
             busy: SimDuration::ZERO,
         }
     }
@@ -290,7 +290,7 @@ impl HostSim {
             picked.len() <= self.config.cores,
             "scheduler oversubscribed"
         );
-        let mut ran_now = HashSet::with_capacity(picked.len());
+        let mut ran_now = BTreeSet::new();
         for id in picked {
             debug_assert!(runnable.contains(&id), "scheduler picked unrunnable {id}");
             let switched = !self.ran_last.contains(&id);
@@ -382,7 +382,7 @@ impl HostSim {
     /// returns the number still unfinished.
     pub fn run_all(&mut self, cap: SimDuration) -> usize {
         let deadline = self.now + cap;
-        let bg: HashSet<TaskId> = self
+        let bg: BTreeSet<TaskId> = self
             .background
             .as_ref()
             .map(|b| b.pool().iter().copied().collect())

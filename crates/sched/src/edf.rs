@@ -10,7 +10,7 @@
 //! whatever capacity the reservations leave over, so the scheduler is
 //! work-conserving.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gridvm_simcore::rng::SimRng;
 use gridvm_simcore::time::{SimDuration, SimTime};
@@ -39,8 +39,8 @@ struct RtEntry {
 /// ```
 #[derive(Debug, Default)]
 pub struct EdfScheduler {
-    reserved: HashMap<TaskId, RtEntry>,
-    best_effort: HashMap<TaskId, f64>, // round-robin credit
+    reserved: BTreeMap<TaskId, RtEntry>,
+    best_effort: BTreeMap<TaskId, f64>, // round-robin credit
 }
 
 impl EdfScheduler {
@@ -209,9 +209,9 @@ mod tests {
         ids: &[TaskId],
         quantum: SimDuration,
         rounds: usize,
-    ) -> HashMap<TaskId, u32> {
+    ) -> BTreeMap<TaskId, u32> {
         let mut rng = SimRng::seed_from(0);
-        let mut counts: HashMap<TaskId, u32> = HashMap::new();
+        let mut counts: BTreeMap<TaskId, u32> = BTreeMap::new();
         let mut now = SimTime::ZERO;
         for _ in 0..rounds {
             for id in s.select(ids, 1, now, quantum, &mut rng) {

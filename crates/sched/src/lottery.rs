@@ -6,7 +6,7 @@
 //! lottery per core, drawing without replacement so a multicore host
 //! never double-schedules a task.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gridvm_simcore::rng::SimRng;
 use gridvm_simcore::time::{SimDuration, SimTime};
@@ -30,8 +30,8 @@ use crate::scheduler::{Scheduler, TaskId, TaskParams};
 /// ```
 #[derive(Debug, Default)]
 pub struct LotteryScheduler {
-    tickets: HashMap<TaskId, u32>,
-    quanta_granted: HashMap<TaskId, u64>,
+    tickets: BTreeMap<TaskId, u32>,
+    quanta_granted: BTreeMap<TaskId, u64>,
 }
 
 impl LotteryScheduler {

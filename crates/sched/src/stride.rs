@@ -8,7 +8,7 @@
 //! probabilistic convergence — the property the ablation bench
 //! contrasts.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gridvm_simcore::rng::SimRng;
 use gridvm_simcore::time::{SimDuration, SimTime};
@@ -41,7 +41,7 @@ struct Entry {
 /// ```
 #[derive(Debug, Default)]
 pub struct StrideScheduler {
-    tasks: HashMap<TaskId, Entry>,
+    tasks: BTreeMap<TaskId, Entry>,
     last_quantum: SimDuration,
 }
 
@@ -139,9 +139,9 @@ mod tests {
         ids: &[TaskId],
         cores: usize,
         rounds: usize,
-    ) -> HashMap<TaskId, u32> {
+    ) -> BTreeMap<TaskId, u32> {
         let mut rng = SimRng::seed_from(0);
-        let mut counts: HashMap<TaskId, u32> = HashMap::new();
+        let mut counts: BTreeMap<TaskId, u32> = BTreeMap::new();
         for _ in 0..rounds {
             for id in s.select(ids, cores, SimTime::ZERO, q(), &mut rng) {
                 *counts.entry(id).or_default() += 1;
@@ -231,7 +231,7 @@ mod proptests {
             s.add_task(TaskId(2), TaskParams::with_weight(w2 * 10));
             let counts = {
                 let mut rng = SimRng::seed_from(1);
-                let mut counts: HashMap<TaskId, u32> = HashMap::new();
+                let mut counts: BTreeMap<TaskId, u32> = BTreeMap::new();
                 for _ in 0..rounds {
                     for id in s.select(&[TaskId(1), TaskId(2)], 1, SimTime::ZERO,
                                         SimDuration::from_millis(10), &mut rng) {

@@ -7,7 +7,7 @@
 //! weights this degenerates to plain round-robin, which is all
 //! Figure 1 needs; the weights let the ablation benches model `nice`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gridvm_simcore::rng::SimRng;
 use gridvm_simcore::time::{SimDuration, SimTime};
@@ -37,7 +37,7 @@ struct Entry {
 /// ```
 #[derive(Debug, Default)]
 pub struct TimeShareScheduler {
-    tasks: HashMap<TaskId, Entry>,
+    tasks: BTreeMap<TaskId, Entry>,
 }
 
 impl TimeShareScheduler {
@@ -138,9 +138,9 @@ mod tests {
         runnable: &[TaskId],
         cores: usize,
         rounds: usize,
-    ) -> HashMap<TaskId, u32> {
+    ) -> BTreeMap<TaskId, u32> {
         let mut rng = SimRng::seed_from(1);
-        let mut counts: HashMap<TaskId, u32> = HashMap::new();
+        let mut counts: BTreeMap<TaskId, u32> = BTreeMap::new();
         let mut now = SimTime::ZERO;
         for _ in 0..rounds {
             let picked = s.select(runnable, cores, now, q(), &mut rng);

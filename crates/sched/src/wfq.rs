@@ -9,7 +9,7 @@
 //! that block and later return (their tags are floored to the current
 //! virtual time instead of letting them catch up unboundedly).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gridvm_simcore::rng::SimRng;
 use gridvm_simcore::time::{SimDuration, SimTime};
@@ -38,7 +38,7 @@ struct Entry {
 /// ```
 #[derive(Debug, Default)]
 pub struct WfqScheduler {
-    tasks: HashMap<TaskId, Entry>,
+    tasks: BTreeMap<TaskId, Entry>,
     virtual_time: f64,
 }
 
@@ -128,9 +128,9 @@ mod tests {
         SimDuration::from_millis(10)
     }
 
-    fn run(s: &mut WfqScheduler, ids: &[TaskId], rounds: usize) -> HashMap<TaskId, u32> {
+    fn run(s: &mut WfqScheduler, ids: &[TaskId], rounds: usize) -> BTreeMap<TaskId, u32> {
         let mut rng = SimRng::seed_from(0);
-        let mut counts: HashMap<TaskId, u32> = HashMap::new();
+        let mut counts: BTreeMap<TaskId, u32> = BTreeMap::new();
         for _ in 0..rounds {
             for id in s.select(ids, 1, SimTime::ZERO, q(), &mut rng) {
                 *counts.entry(id).or_default() += 1;

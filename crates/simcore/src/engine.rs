@@ -130,8 +130,40 @@ impl<W> Engine<W> {
         debug_assert!(time >= self.clock, "event queue produced the past");
         self.clock = time;
         self.executed += 1;
+        // Periodic self-audit: every dev-profile run continuously
+        // sweeps the queue invariants without O(n) work per event.
+        #[cfg(any(debug_assertions, feature = "audit"))]
+        if self
+            .executed
+            .is_multiple_of(crate::audit::AUTO_AUDIT_INTERVAL)
+        {
+            if let Err(v) = self.audit() {
+                panic!(
+                    "engine self-audit failed after {} events: {v}",
+                    self.executed
+                );
+            }
+        }
         f(world, self);
         true
+    }
+
+    /// Re-verifies the engine's invariants (runtime audit layer; see
+    /// [`crate::audit`]): the event queue's structural checks plus
+    /// causality — no pending event may be earlier than the clock,
+    /// since the past is immutable in a discrete-event simulation.
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    pub fn audit(&self) -> crate::audit::AuditResult {
+        self.queue.audit()?;
+        if let Some(next) = self.queue.peek_time() {
+            if next < self.clock {
+                return Err(crate::audit::AuditViolation {
+                    invariant: "causality",
+                    detail: format!("pending event at {next} is before the clock {}", self.clock),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Runs until no events remain.
@@ -269,6 +301,41 @@ mod tests {
             en.schedule_at(secs(1), |_, _| {});
         });
         en.run(&mut w);
+    }
+
+    #[test]
+    fn audit_passes_during_and_after_run() {
+        let mut en: Engine<W> = Engine::new();
+        let mut w = W::default();
+        for i in 0..50 {
+            en.schedule_at(secs(i / 5), |w: &mut W, en| {
+                w.log.push((0, "x"));
+                en.schedule_in(SimDuration::from_secs(1), |_, _| {});
+            });
+        }
+        en.audit().expect("clean before running");
+        while en.step(&mut w) {
+            en.audit().expect("clean after every step");
+        }
+        en.audit().expect("clean when drained");
+    }
+
+    #[test]
+    fn periodic_self_audit_covers_long_runs() {
+        // Schedules several times AUTO_AUDIT_INTERVAL chained events so
+        // the in-step sweep fires repeatedly; a corrupted queue would
+        // panic the run.
+        fn chain(w: &mut W, en: &mut Engine<W>) {
+            if en.executed() < 4 * crate::audit::AUTO_AUDIT_INTERVAL {
+                w.log.push((0, "t"));
+                en.schedule_in(SimDuration::from_nanos(1), chain);
+            }
+        }
+        let mut en: Engine<W> = Engine::new();
+        let mut w = W::default();
+        en.schedule_now(chain);
+        en.run(&mut w);
+        assert!(en.executed() >= 4 * crate::audit::AUTO_AUDIT_INTERVAL);
     }
 
     #[test]

@@ -363,6 +363,94 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Re-verifies the queue's structural invariants from first
+    /// principles (runtime audit layer; see [`crate::audit`]):
+    /// heap ordering, `heap_idx` back-pointers, payload liveness,
+    /// slot-arena/free-list partition, and sequence-counter sanity.
+    ///
+    /// O(n log n) in pending events — called periodically by
+    /// [`crate::engine::Engine::step`], directly by tests.
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    pub fn audit(&self) -> crate::audit::AuditResult {
+        use crate::audit::violated;
+        // Heap property over the (time, seq) key.
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) / D;
+            if self.heap[i].key() < self.heap[parent].key() {
+                return violated(
+                    "heap-order",
+                    format!(
+                        "entry {i} (t={}, seq={}) sorts before its parent {parent} \
+                         (t={}, seq={})",
+                        self.heap[i].time,
+                        self.heap[i].seq,
+                        self.heap[parent].time,
+                        self.heap[parent].seq
+                    ),
+                );
+            }
+        }
+        // Back-pointers, payload liveness, sequence sanity.
+        for (i, e) in self.heap.iter().enumerate() {
+            let slot = e.slot as usize;
+            match self.heap_idx.get(slot) {
+                Some(&idx) if idx as usize == i => {}
+                other => {
+                    return violated(
+                        "heap-idx",
+                        format!("heap entry {i} for slot {slot}: heap_idx says {other:?}"),
+                    );
+                }
+            }
+            if self.payloads.get(slot).is_none_or(|p| p.is_none()) {
+                return violated(
+                    "payload-liveness",
+                    format!("heap entry {i} points at slot {slot} with no payload"),
+                );
+            }
+            if e.seq >= self.next_seq {
+                return violated(
+                    "seq-counter",
+                    format!(
+                        "heap entry {i} carries seq {} but next_seq is {}",
+                        e.seq, self.next_seq
+                    ),
+                );
+            }
+        }
+        // Each arena slot lives in exactly one of {heap, free list},
+        // and free slots hold no payload.
+        let mut owner = vec![0u8; self.payloads.len()];
+        for e in &self.heap {
+            owner[e.slot as usize] += 1;
+        }
+        for &(slot, _gen) in &self.free {
+            let slot = slot as usize;
+            owner[slot] += 2;
+            if self.payloads.get(slot).is_some_and(Option::is_some) {
+                return violated(
+                    "arena-free",
+                    format!("free-listed slot {slot} still holds a payload"),
+                );
+            }
+        }
+        for (slot, &o) in owner.iter().enumerate() {
+            if o != 1 && o != 2 {
+                return violated(
+                    "arena-partition",
+                    format!(
+                        "slot {slot} is owned by {} (1=heap once, 2=free once)",
+                        match o {
+                            0 => "neither heap nor free list".to_owned(),
+                            n => format!("code {n}: multiple owners"),
+                        }
+                    ),
+                );
+            }
+        }
+        Ok(())
+    }
+
     /// Number of arena slots currently holding a live event, counted
     /// from the allocator's own books (`slots` minus the free list).
     /// Always equals [`len`](Self::len) when no bookkeeping leaks;
@@ -512,6 +600,75 @@ mod tests {
             assert_eq!(q.tracked_ids(), q.len());
         }
         assert_eq!(q.tracked_ids(), 0);
+    }
+
+    #[test]
+    fn audit_passes_on_live_queue() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..200).map(|i| q.push(t(i % 13), i)).collect();
+        q.audit().expect("fresh queue is consistent");
+        for id in ids.iter().step_by(3) {
+            q.cancel(*id);
+            q.audit().expect("cancel preserves invariants");
+        }
+        while q.pop().is_some() {
+            q.audit().expect("pop preserves invariants");
+        }
+    }
+
+    #[test]
+    fn audit_detects_heap_order_corruption() {
+        let mut q = EventQueue::new();
+        for i in 0..20 {
+            q.push(t(i), i);
+        }
+        // Swap the root with a leaf without fixing heap_idx-relative
+        // order: the (time, seq) key at the leaf's parent now exceeds
+        // the leaf.
+        let last = q.heap.len() - 1;
+        q.heap.swap(0, last);
+        q.heap_idx[q.heap[0].slot as usize] = 0;
+        q.heap_idx[q.heap[last].slot as usize] = last as u32;
+        let err = q.audit().expect_err("corrupted heap must be detected");
+        assert_eq!(err.invariant, "heap-order", "{err}");
+    }
+
+    #[test]
+    fn audit_detects_stale_back_pointer() {
+        let mut q = EventQueue::new();
+        for i in 0..8 {
+            q.push(t(i), i);
+        }
+        let slot = q.heap[3].slot as usize;
+        q.heap_idx[slot] = 0; // points at the wrong heap position
+        let err = q.audit().expect_err("stale heap_idx must be detected");
+        assert_eq!(err.invariant, "heap-idx", "{err}");
+    }
+
+    #[test]
+    fn audit_detects_missing_payload() {
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.push(t(i), i);
+        }
+        let slot = q.heap[2].slot as usize;
+        q.payloads[slot] = None; // live entry, dead payload
+        let err = q.audit().expect_err("payload leak must be detected");
+        assert_eq!(err.invariant, "payload-liveness", "{err}");
+    }
+
+    #[test]
+    fn audit_detects_double_owned_slot() {
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.push(t(i), i);
+        }
+        // A slot that is both live in the heap and on the free list
+        // would hand the same arena cell to two future events.
+        let slot = q.heap[1].slot;
+        q.free.push((slot, 7));
+        let err = q.audit().expect_err("double ownership must be detected");
+        assert_eq!(err.invariant, "arena-free", "{err}");
     }
 
     #[test]

@@ -60,6 +60,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(any(debug_assertions, feature = "audit"))]
+pub mod audit;
 pub mod engine;
 pub mod event;
 pub mod lru;

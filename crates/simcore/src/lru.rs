@@ -220,6 +220,84 @@ impl<K: Eq + Hash + Copy> LruSet<K> {
         self.tail = NIL;
     }
 
+    /// Re-verifies the set's structural invariants from first
+    /// principles (runtime audit layer; see [`crate::audit`]):
+    /// intrusive-list link integrity (`prev`/`next` agree, the walk
+    /// from `head` reaches `tail` in exactly `len` steps, so no cycles
+    /// or orphans), map↔node agreement, and capacity/arena accounting.
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    pub fn audit(&self) -> crate::audit::AuditResult {
+        use crate::audit::violated;
+        if self.map.len() > self.capacity {
+            return violated(
+                "lru-capacity",
+                format!(
+                    "{} resident keys exceed capacity {}",
+                    self.map.len(),
+                    self.capacity
+                ),
+            );
+        }
+        if self.nodes.len() != self.map.len() + self.free.len() {
+            return violated(
+                "lru-arena",
+                format!(
+                    "{} arena nodes != {} resident + {} free",
+                    self.nodes.len(),
+                    self.map.len(),
+                    self.free.len()
+                ),
+            );
+        }
+        // Walk head→tail: each hop's back-pointer must agree, every
+        // visited key must map back to its own node index, and the walk
+        // must terminate at `tail` after exactly len steps (a longer
+        // walk means a cycle, a shorter one an orphaned node).
+        let mut visited = 0usize;
+        let mut prev = NIL;
+        let mut i = self.head;
+        while i != NIL {
+            if visited == self.map.len() {
+                return violated(
+                    "lru-link",
+                    format!(
+                        "recency list longer than {} resident keys (cycle?)",
+                        visited
+                    ),
+                );
+            }
+            let n = &self.nodes[i as usize];
+            if n.prev != prev {
+                return violated(
+                    "lru-link",
+                    format!(
+                        "node {i}: prev says {} but list arrived from {prev}",
+                        n.prev
+                    ),
+                );
+            }
+            if self.map.get(&n.key) != Some(&i) {
+                return violated("lru-map", format!("node {i}'s key does not map back to it"));
+            }
+            prev = i;
+            i = n.next;
+            visited += 1;
+        }
+        if prev != self.tail {
+            return violated(
+                "lru-link",
+                format!("walk ended at {prev} but tail says {}", self.tail),
+            );
+        }
+        if visited != self.map.len() {
+            return violated(
+                "lru-link",
+                format!("walk visited {visited} nodes, map holds {}", self.map.len()),
+            );
+        }
+        Ok(())
+    }
+
     /// Keys in most-recently-used-first order (diagnostics and tests;
     /// O(len)).
     pub fn iter_mru(&self) -> impl Iterator<Item = &K> + '_ {
@@ -329,6 +407,60 @@ mod tests {
     #[should_panic(expected = "zero-capacity")]
     fn zero_capacity_panics() {
         let _ = LruSet::<u64>::new(0);
+    }
+
+    #[test]
+    fn audit_passes_through_mixed_operations() {
+        let mut c = LruSet::new(4);
+        for round in 0..64u64 {
+            c.insert(round % 9);
+            c.touch(&(round % 5));
+            if round % 3 == 0 {
+                c.remove(&(round % 7));
+            }
+            c.audit().expect("every operation preserves invariants");
+        }
+    }
+
+    #[test]
+    fn audit_detects_broken_back_link() {
+        let mut c = LruSet::new(4);
+        c.insert(1u64);
+        c.insert(2);
+        c.insert(3);
+        // Sever a prev pointer: forward and backward traversals now
+        // disagree, which is exactly the corruption a buggy unlink
+        // would leave behind.
+        let mid = c.nodes[c.head as usize].next;
+        c.nodes[mid as usize].prev = NIL;
+        let err = c.audit().expect_err("broken back link must be detected");
+        assert_eq!(err.invariant, "lru-link", "{err}");
+    }
+
+    #[test]
+    fn audit_detects_map_node_disagreement() {
+        let mut c = LruSet::new(4);
+        c.insert(1u64);
+        c.insert(2);
+        let head = c.head;
+        let stale = c.nodes[head as usize].key;
+        c.map.insert(stale, 99); // map now points into nowhere
+        let err = c.audit().expect_err("stale map entry must be detected");
+        assert_eq!(err.invariant, "lru-map", "{err}");
+    }
+
+    #[test]
+    fn audit_detects_cycle() {
+        let mut c = LruSet::new(4);
+        c.insert(1u64);
+        c.insert(2);
+        c.insert(3);
+        // Point the tail back at the head: the recency walk never
+        // reaches NIL.
+        let tail = c.tail;
+        c.nodes[tail as usize].next = c.head;
+        let err = c.audit().expect_err("cycle must be detected");
+        assert_eq!(err.invariant, "lru-link", "{err}");
     }
 }
 

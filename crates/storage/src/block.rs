@@ -9,7 +9,7 @@
 //! that data read through three layers of proxies is the data the
 //! image server would have produced).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use bytes::Bytes;
@@ -155,7 +155,7 @@ pub struct MemBlockStore {
     block_size: ByteSize,
     num_blocks: u64,
     seed: u64,
-    written: HashMap<BlockAddr, Bytes>,
+    written: BTreeMap<BlockAddr, Bytes>,
     read_only: bool,
 }
 
@@ -173,7 +173,7 @@ impl MemBlockStore {
             block_size,
             num_blocks,
             seed,
-            written: HashMap::new(),
+            written: BTreeMap::new(),
             read_only: false,
         }
     }
@@ -368,7 +368,7 @@ mod proptests {
         #[test]
         fn store_matches_model(ops in proptest::collection::vec((0u64..50, 0u8..=255, proptest::bool::ANY), 1..100)) {
             let mut s = MemBlockStore::new(ByteSize::from_bytes(16), 50, 9);
-            let mut model: std::collections::HashMap<u64, u8> = Default::default();
+            let mut model: std::collections::BTreeMap<u64, u8> = Default::default();
             for (addr, byte, is_write) in ops {
                 if is_write {
                     s.write(BlockAddr(addr), Bytes::from(vec![byte; 16])).unwrap();

@@ -8,7 +8,7 @@
 //! Linux virtual system disk ... shared by multiple dynamic
 //! instances").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -36,7 +36,7 @@ use crate::block::{BlockAddr, BlockStore, MemBlockStore, StorageError};
 #[derive(Clone, Debug)]
 pub struct CowOverlay {
     base: Arc<MemBlockStore>,
-    diff: HashMap<BlockAddr, Bytes>,
+    diff: BTreeMap<BlockAddr, Bytes>,
 }
 
 impl CowOverlay {
@@ -44,7 +44,7 @@ impl CowOverlay {
     pub fn new(base: Arc<MemBlockStore>) -> Self {
         CowOverlay {
             base,
-            diff: HashMap::new(),
+            diff: BTreeMap::new(),
         }
     }
 

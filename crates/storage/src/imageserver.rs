@@ -2,7 +2,7 @@
 //! block-by-block (on-demand, through a grid virtual file system) or
 //! wholesale (staging) — Figure 2's server `I` and Section 3.1.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -66,7 +66,7 @@ impl From<StorageError> for ImageServerError {
 /// ```
 pub struct ImageServer {
     catalog: ImageCatalog,
-    stores: HashMap<String, Arc<MemBlockStore>>,
+    stores: BTreeMap<String, Arc<MemBlockStore>>,
     disk: DiskModel,
     blocks_served: u64,
 }
@@ -85,7 +85,7 @@ impl ImageServer {
     pub fn new(disk: DiskModel) -> Self {
         ImageServer {
             catalog: ImageCatalog::new(),
-            stores: HashMap::new(),
+            stores: BTreeMap::new(),
             disk,
             blocks_served: 0,
         }

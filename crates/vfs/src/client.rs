@@ -7,7 +7,7 @@
 //! unchanged ("without requiring ... changes to native OS file system
 //! clients and servers").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gridvm_simcore::time::{SimDuration, SimTime};
 
@@ -38,7 +38,7 @@ pub const ATTR_CACHE_TTL: SimDuration = SimDuration::from_secs(3);
 /// ```
 pub struct VfsClient {
     mount: Mount,
-    attr_cache: HashMap<FileHandle, (FileAttr, SimTime)>,
+    attr_cache: BTreeMap<FileHandle, (FileAttr, SimTime)>,
     attr_hits: u64,
     attr_misses: u64,
 }
@@ -57,7 +57,7 @@ impl VfsClient {
     pub fn new(mount: Mount) -> Self {
         VfsClient {
             mount,
-            attr_cache: HashMap::new(),
+            attr_cache: BTreeMap::new(),
             attr_hits: 0,
             attr_misses: 0,
         }

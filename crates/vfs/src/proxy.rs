@@ -8,7 +8,7 @@
 //! stay within a couple of percent of local execution, and what the
 //! ablation bench `ablation_proxy_cache` switches off.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gridvm_simcore::lru::LruSet;
 use gridvm_simcore::metrics::Counter;
@@ -81,7 +81,7 @@ pub struct VfsProxy {
     /// `(file, block)` residency with O(1) recency bookkeeping.
     cache: LruSet<(u64, u64)>,
     /// Per-file last read end offset, for sequentiality detection.
-    last_read_end: HashMap<u64, u64>,
+    last_read_end: BTreeMap<u64, u64>,
     buffered_blocks: usize,
     hits: u64,
     misses: u64,
@@ -96,7 +96,7 @@ impl VfsProxy {
         VfsProxy {
             cache: LruSet::new(config.cache_blocks),
             config,
-            last_read_end: HashMap::new(),
+            last_read_end: BTreeMap::new(),
             buffered_blocks: 0,
             hits: 0,
             misses: 0,

@@ -3,7 +3,7 @@
 //! DHCP), which can then be used by the middleware to reference the
 //! VM for the duration of a session."
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gridvm_simcore::time::{SimDuration, SimTime};
 
@@ -58,7 +58,7 @@ impl std::error::Error for DhcpError {}
 pub struct DhcpServer {
     subnet: Subnet,
     lease_time: SimDuration,
-    leases: HashMap<MacAddr, Lease>,
+    leases: BTreeMap<MacAddr, Lease>,
     next_host: u32,
 }
 
@@ -73,7 +73,7 @@ impl DhcpServer {
         DhcpServer {
             subnet,
             lease_time,
-            leases: HashMap::new(),
+            leases: BTreeMap::new(),
             next_host: 1,
         }
     }

@@ -8,7 +8,7 @@
 //! whenever measurements change. The ablation bench compares direct
 //! underlay paths against overlay routing when a path degrades.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use gridvm_simcore::time::{SimDuration, SimTime};
 
@@ -88,9 +88,9 @@ pub struct Overlay {
     next_id: u32,
     nodes: Vec<NodeId>,
     /// Directed measured latency. Probes set both directions.
-    links: HashMap<(NodeId, NodeId), SimDuration>,
+    links: BTreeMap<(NodeId, NodeId), SimDuration>,
     reroutes: u64,
-    last_routes: HashMap<(NodeId, NodeId), Vec<NodeId>>,
+    last_routes: BTreeMap<(NodeId, NodeId), Vec<NodeId>>,
 }
 
 impl Overlay {
@@ -163,8 +163,8 @@ impl Overlay {
                 latency: SimDuration::ZERO,
             });
         }
-        let mut dist: HashMap<NodeId, SimDuration> = HashMap::new();
-        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut dist: BTreeMap<NodeId, SimDuration> = BTreeMap::new();
+        let mut prev: BTreeMap<NodeId, NodeId> = BTreeMap::new();
         let mut heap: BinaryHeap<std::cmp::Reverse<(SimDuration, NodeId)>> = BinaryHeap::new();
         dist.insert(from, SimDuration::ZERO);
         heap.push(std::cmp::Reverse((SimDuration::ZERO, from)));

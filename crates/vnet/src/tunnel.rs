@@ -11,7 +11,7 @@
 //! grafts remote VMs onto the user's home subnet by carrying their
 //! DHCP traffic through the tunnel.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gridvm_simcore::server::ServiceGrant;
 use gridvm_simcore::time::{SimDuration, SimTime};
@@ -129,7 +129,7 @@ impl EthernetTunnel {
 pub struct Vpn {
     tunnel: EthernetTunnel,
     home_dhcp: DhcpServer,
-    members: HashMap<MacAddr, Ipv4Addr>,
+    members: BTreeMap<MacAddr, Ipv4Addr>,
 }
 
 /// Errors from VPN operations.
@@ -171,7 +171,7 @@ impl Vpn {
         Vpn {
             tunnel,
             home_dhcp,
-            members: HashMap::new(),
+            members: BTreeMap::new(),
         }
     }
 

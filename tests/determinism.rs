@@ -229,6 +229,139 @@ fn experiment_reports_are_thread_count_invariant() {
     assert!(serial.metrics.counter("host.world_switches") > 0);
 }
 
+mod session_replication_proptest {
+    use super::*;
+    use gridvm::simcore::replication::{ReplicationCtx, ReplicationRunner};
+    use gridvm::simcore::trace::TraceLog;
+    use proptest::prelude::*;
+
+    /// Order-sensitive FNV-1a fold over every retained trace entry, so
+    /// two runs agree iff they produced the same causal history in the
+    /// same order.
+    fn trace_digest(log: &TraceLog) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for e in log.entries() {
+            mix(&e.time.as_nanos().to_le_bytes());
+            mix(e.category.as_bytes());
+            mix(e.message.as_bytes());
+        }
+        h
+    }
+
+    fn grid_world() -> GridWorld {
+        let mut info = InfoService::new().with_propagation(SimDuration::ZERO);
+        let host = info.register(
+            SimTime::ZERO,
+            "s",
+            ResourceKind::PhysicalHost {
+                cores: 2,
+                clock_hz: 800e6,
+                memory_mib: 1024,
+            },
+        );
+        info.register(
+            SimTime::ZERO,
+            "s",
+            ResourceKind::VmFuture {
+                host,
+                images: vec!["rh72".into()],
+                available_slots: 1,
+            },
+        );
+        info.register(
+            SimTime::ZERO,
+            "s",
+            ResourceKind::ImageServer {
+                images: vec!["rh72".into()],
+            },
+        );
+        GridWorld {
+            info,
+            compute: ComputeServer::paper_node("c"),
+            image_server: gridvm::core::server::paper_image_server("rh72"),
+            data_server: Some(gridvm::core::server::paper_data_server(
+                "u",
+                ByteSize::from_mib(1),
+            )),
+            dhcp: gridvm::vnet::dhcp::DhcpServer::new(
+                gridvm::vnet::addr::Subnet::new(
+                    gridvm::vnet::addr::Ipv4Addr::from_octets(10, 0, 0, 0),
+                    24,
+                ),
+                SimDuration::from_secs(600),
+            ),
+        }
+    }
+
+    /// One replication: a full gridmw session (discover → lease → DHCP
+    /// → stage → boot → run app), its milestones recorded as a trace.
+    /// Returns everything downstream assertions compare bit-for-bit.
+    fn session_sample(ctx: &ReplicationCtx) -> (u64, u64) {
+        let req = SessionRequest {
+            user: "u".into(),
+            image: "rh72".into(),
+            min_cores: 1,
+            startup: StartupConfig::table2(
+                StartupMode::Restore,
+                DiskMode::NonPersistent,
+                StateAccess::DiskFs,
+            ),
+            app: AppProfile::new("a", CpuWork::from_cycles(200_000_000)).with_syscalls(50),
+        };
+        let mut world = grid_world();
+        let mut rng = ctx.rng().split("session");
+        let report =
+            GridSession::establish(&mut world, &req, &mut rng).expect("session establishes");
+        let mut log = TraceLog::with_capacity(64);
+        log.record(
+            SimTime::ZERO,
+            "session",
+            format!("lease {}", report.address),
+        );
+        log.record(
+            SimTime::ZERO + report.startup.total,
+            "session",
+            "vm ready".to_owned(),
+        );
+        log.record(
+            SimTime::ZERO + report.total,
+            "session",
+            format!("app done after {:?}", report.app),
+        );
+        (report.total.as_nanos(), trace_digest(&log))
+    }
+
+    proptest! {
+        /// A small gridmw session replicated under different thread
+        /// counts produces identical per-replication results, identical
+        /// metrics, and identical trace digests for every random seed.
+        /// This is the end-to-end guarantee the container migrations
+        /// and the audit layer protect.
+        #[test]
+        fn session_metrics_and_traces_are_thread_count_invariant(
+            seed in 1u64..u64::MAX / 2,
+            threads in 2usize..9,
+        ) {
+            let serial = ReplicationRunner::new(1).run(seed, 6, session_sample);
+            let parallel = ReplicationRunner::new(threads).run(seed, 6, session_sample);
+            prop_assert_eq!(&serial.results, &parallel.results);
+            prop_assert_eq!(&serial.replication_metrics, &parallel.replication_metrics);
+            prop_assert_eq!(&serial.merged_metrics, &parallel.merged_metrics);
+            // Different replications see different seeds: the digests
+            // must not be trivially constant.
+            let digests: std::collections::BTreeSet<u64> =
+                serial.results.iter().map(|(_, d)| *d).collect();
+            prop_assert!(digests.len() > 1, "replication digests all identical");
+        }
+    }
+}
+
 #[test]
 fn trace_generation_streams_are_label_isolated() {
     // Drawing from one component's stream must not perturb another's.
