@@ -27,6 +27,11 @@
 //! * [`migration`] — suspending, moving and resuming a whole
 //!   computing environment while its virtual-file-system sessions
 //!   stay live (Section 3.1 "virtual machine migration").
+//! * [`recovery`] — the self-healing session life cycle: a
+//!   multi-host [`Cluster`](recovery::Cluster) driven under a seeded
+//!   [`FaultPlan`](gridvm_simcore::fault::FaultPlan), where a host
+//!   crash triggers suspend-from-checkpoint, transfer and resume on
+//!   a surviving host (Section 3.1 fault tolerance).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,12 +39,14 @@
 pub mod frontend;
 pub mod migration;
 pub mod nfsdisk;
+pub mod recovery;
 pub mod server;
 pub mod session;
 pub mod startup;
 
 pub use frontend::ServiceProvider;
 pub use nfsdisk::NfsGuestStorage;
+pub use recovery::{run_resilient_session, ChaosError, ChaosReport, Cluster, RecoveryConfig};
 pub use server::ComputeServer;
 pub use session::{GridSession, SessionReport, SessionRequest};
 pub use startup::{

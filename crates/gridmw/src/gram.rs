@@ -35,6 +35,9 @@ pub enum JobState {
     Active,
     /// Finished; wall-clock endpoints known.
     Done,
+    /// The resource died under the job (host crash); the job must be
+    /// resubmitted to finish.
+    Failed,
 }
 
 /// Errors from the gatekeeper.
@@ -56,6 +59,12 @@ pub enum GramError {
         /// The handle.
         JobId,
     ),
+    /// The job's resource failed; `globusrun` cannot complete it and
+    /// the caller must resubmit.
+    JobFailed(
+        /// The handle.
+        JobId,
+    ),
 }
 
 impl std::fmt::Display for GramError {
@@ -64,6 +73,7 @@ impl std::fmt::Display for GramError {
             GramError::NotAuthorized(s) => write!(f, "subject {s:?} not authorized"),
             GramError::UnknownJob(id) => write!(f, "unknown job {id:?}"),
             GramError::StillRunning(id) => write!(f, "job {id:?} still running"),
+            GramError::JobFailed(id) => write!(f, "job {id:?} failed; resubmit it"),
         }
     }
 }
@@ -206,14 +216,49 @@ impl GramServer {
         Ok(())
     }
 
+    /// Marks the job's resource as dead at `when` (an injected host
+    /// crash): the job moves to [`JobState::Failed`] and can only be
+    /// completed through [`GramServer::resubmit`].
+    ///
+    /// # Errors
+    ///
+    /// [`GramError::UnknownJob`].
+    pub fn fail_job(&mut self, id: JobId, when: SimTime) -> Result<(), GramError> {
+        let job = self.jobs.get_mut(&id).ok_or(GramError::UnknownJob(id))?;
+        job.state = JobState::Failed;
+        job.payload_done = Some(when);
+        gridvm_simcore::metrics::counter_add("gram.jobs_failed", 1);
+        Ok(())
+    }
+
+    /// Resubmits after a failure: a fresh submission (full
+    /// authentication + dispatch — GSI does not reuse the dead job's
+    /// delegation), counted in `gram.resubmissions`.
+    ///
+    /// # Errors
+    ///
+    /// [`GramError::NotAuthorized`] for unknown subjects.
+    pub fn resubmit(
+        &mut self,
+        now: SimTime,
+        req: &JobRequest,
+    ) -> Result<(SimTime, JobId), GramError> {
+        gridvm_simcore::metrics::counter_add("gram.resubmissions", 1);
+        self.submit(now, req)
+    }
+
     /// The instant `globusrun` returns to the user: the first poll
     /// tick at or after payload completion, plus teardown.
     ///
     /// # Errors
     ///
-    /// Unknown job, or the payload has not been reported finished.
+    /// Unknown job, a failed job, or the payload has not been
+    /// reported finished.
     pub fn globusrun_end(&self, id: JobId) -> Result<SimTime, GramError> {
         let job = self.jobs.get(&id).ok_or(GramError::UnknownJob(id))?;
+        if job.state == JobState::Failed {
+            return Err(GramError::JobFailed(id));
+        }
         let done = job.payload_done.ok_or(GramError::StillRunning(id))?;
         // Polling starts when the job went active; the client sees
         // Done at the next poll boundary.
@@ -307,6 +352,27 @@ mod tests {
         let (a, _) = g.submit(SimTime::ZERO, &req()).unwrap();
         let (b, _) = g.submit(SimTime::ZERO, &req()).unwrap();
         assert!(b > a, "second submission waits for the gatekeeper");
+    }
+
+    #[test]
+    fn failed_job_must_be_resubmitted() {
+        gridvm_simcore::metrics::reset();
+        let mut g = server();
+        let (start, id) = g.submit(SimTime::ZERO, &req()).unwrap();
+        g.fail_job(id, start + SimDuration::from_secs(3)).unwrap();
+        assert_eq!(g.state(id).unwrap(), JobState::Failed);
+        assert!(matches!(g.globusrun_end(id), Err(GramError::JobFailed(_))));
+        let (restart, id2) = g
+            .resubmit(start + SimDuration::from_secs(5), &req())
+            .unwrap();
+        assert_ne!(id, id2, "resubmission is a fresh job");
+        assert!(restart > start, "fresh auth+dispatch paid again");
+        g.payload_finished(id2, restart + SimDuration::from_secs(2))
+            .unwrap();
+        assert!(g.globusrun_end(id2).is_ok());
+        let m = gridvm_simcore::metrics::take();
+        assert_eq!(m.counter("gram.jobs_failed"), 1);
+        assert_eq!(m.counter("gram.resubmissions"), 1);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`rps`] — an RPS-like resource predictor \[11\]: AR-model
 //!   fitting over a sliding window of load measurements, with
 //!   confidence intervals for adaptation decisions.
+//! * [`retry`] — per-RPC failure semantics: capped exponential
+//!   backoff with seeded jitter and bounded retry budgets, the
+//!   middleware layer's answer to injected faults.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,10 +34,12 @@ pub mod batch;
 pub mod ftp;
 pub mod gram;
 pub mod info;
+pub mod retry;
 pub mod rps;
 
 pub use accounts::AccountPool;
 pub use batch::{BatchJob, QueuePolicy};
 pub use gram::{GramServer, JobRequest};
 pub use info::{InfoService, Query, ResourceKind, ResourceRecord};
+pub use retry::RetryPolicy;
 pub use rps::ArPredictor;

@@ -1,0 +1,342 @@
+//! Per-RPC failure semantics: capped exponential backoff with seeded
+//! jitter and bounded retry budgets.
+//!
+//! Grid middleware of the paper's era (Globus GRAM/MDS/GridFTP) wraps
+//! every remote call in timeout + retry; a session that meets a
+//! transient fault retries with growing delays and gives up loudly
+//! when the budget is spent. The schedule here is deliberately
+//! boring and fully deterministic:
+//!
+//! * delays are **monotonically non-decreasing** and never exceed the
+//!   cap (jitter is clamped against both);
+//! * total attempts never exceed `max_attempts`;
+//! * identical seeds yield identical jitter sequences.
+//!
+//! Those three invariants are what the workspace proptest battery
+//! pins (`tests/retry_backoff.rs`).
+
+use gridvm_simcore::metrics;
+use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::time::{SimDuration, SimTime};
+
+/// A retry policy: capped exponential backoff with jitter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First backoff delay.
+    pub base: SimDuration,
+    /// Upper bound on any single delay.
+    pub cap: SimDuration,
+    /// Growth per retry, percent (200 = double each time). Must be
+    /// ≥ 100 so the nominal sequence is non-decreasing.
+    pub multiplier_percent: u32,
+    /// Total attempt budget (first try included). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Jitter as a percent of the nominal delay: each delay gains a
+    /// uniform extra in `[0, nominal × jitter%)`, clamped to the cap.
+    pub jitter_percent: u32,
+}
+
+impl Default for RetryPolicy {
+    /// 250 ms base, 8 s cap, doubling, 6 attempts, 25 % jitter — a
+    /// LAN-era middleware profile.
+    fn default() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_millis(250),
+            cap: SimDuration::from_secs(8),
+            multiplier_percent: 200,
+            max_attempts: 6,
+            jitter_percent: 25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Validates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the multiplier shrinks delays or the budget is
+    /// zero.
+    pub fn validated(self) -> Self {
+        assert!(
+            self.multiplier_percent >= 100,
+            "multiplier below 100% would shrink delays"
+        );
+        assert!(self.max_attempts >= 1, "zero attempt budget");
+        self
+    }
+
+    /// The backoff-delay sequence for one operation, drawing jitter
+    /// from `rng`. Yields at most `max_attempts - 1` delays (one
+    /// between each pair of attempts).
+    pub fn backoff(&self, rng: SimRng) -> Backoff {
+        Backoff {
+            policy: *self,
+            rng,
+            nominal: self.base.min(self.cap),
+            floor: SimDuration::ZERO,
+            issued: 0,
+        }
+    }
+}
+
+/// Iterator over one operation's backoff delays.
+///
+/// ```
+/// use gridvm_gridmw::retry::RetryPolicy;
+/// use gridvm_simcore::rng::SimRng;
+///
+/// let policy = RetryPolicy::default();
+/// let delays: Vec<_> = policy.backoff(SimRng::seed_from(1)).collect();
+/// assert_eq!(delays.len() as u32, policy.max_attempts - 1);
+/// assert!(delays.windows(2).all(|w| w[0] <= w[1]), "monotone");
+/// assert!(delays.iter().all(|d| *d <= policy.cap), "capped");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    rng: SimRng,
+    nominal: SimDuration,
+    floor: SimDuration,
+    issued: u32,
+}
+
+impl Iterator for Backoff {
+    type Item = SimDuration;
+
+    fn next(&mut self) -> Option<SimDuration> {
+        if self.issued + 1 >= self.policy.max_attempts {
+            return None;
+        }
+        let jitter = self
+            .nominal
+            .mul_f64(self.policy.jitter_percent as f64 / 100.0 * self.rng.next_f64());
+        // Monotone by construction: never below the previous delay,
+        // never above the cap.
+        let delay = (self.nominal + jitter).max(self.floor).min(self.policy.cap);
+        self.floor = delay;
+        self.issued += 1;
+        self.nominal = self
+            .nominal
+            .mul_f64(self.policy.multiplier_percent as f64 / 100.0)
+            .min(self.policy.cap);
+        Some(delay)
+    }
+}
+
+/// Why a retried operation ultimately failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RetryError<E> {
+    /// Every attempt in the budget failed; the last error is kept.
+    BudgetExhausted {
+        /// Attempts actually made (= the policy's budget).
+        attempts: u32,
+        /// The error of the final attempt.
+        last: E,
+    },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for RetryError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryError::BudgetExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "retry budget exhausted after {attempts} attempts: {last}"
+                )
+            }
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for RetryError<E> {}
+
+/// Runs `op` under the policy, advancing simulated time through
+/// failed attempts and backoff delays.
+///
+/// `op` receives `(attempt_start_time, attempt_index)` and returns
+/// the attempt's finish time plus its outcome. On failure the next
+/// attempt starts after the backoff delay; when the budget is spent
+/// the final finish time and the last error are returned.
+///
+/// Metrics: `gridmw.rpc_attempts` counts every attempt,
+/// `gridmw.rpc_retries` the re-attempts, and
+/// `gridmw.retry_exhausted` the operations that gave up.
+pub fn retry_rpc<T, E>(
+    policy: &RetryPolicy,
+    now: SimTime,
+    rng: &mut SimRng,
+    mut op: impl FnMut(SimTime, u32) -> (SimTime, Result<T, E>),
+) -> (SimTime, Result<T, RetryError<E>>) {
+    let mut backoff = policy.backoff(rng.split("backoff"));
+    let mut t = now;
+    let mut attempt = 0u32;
+    loop {
+        metrics::counter_add("gridmw.rpc_attempts", 1);
+        let (finish, result) = op(t, attempt);
+        match result {
+            Ok(v) => return (finish, Ok(v)),
+            Err(e) => match backoff.next() {
+                Some(delay) => {
+                    metrics::counter_add("gridmw.rpc_retries", 1);
+                    t = finish + delay;
+                    attempt += 1;
+                }
+                None => {
+                    metrics::counter_add("gridmw.retry_exhausted", 1);
+                    return (
+                        finish,
+                        Err(RetryError::BudgetExhausted {
+                            attempts: attempt + 1,
+                            last: e,
+                        }),
+                    );
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_monotone_capped_and_budgeted() {
+        let policy = RetryPolicy {
+            base: SimDuration::from_millis(100),
+            cap: SimDuration::from_secs(2),
+            multiplier_percent: 300,
+            max_attempts: 8,
+            jitter_percent: 50,
+        }
+        .validated();
+        let delays: Vec<_> = policy.backoff(SimRng::seed_from(42)).collect();
+        assert_eq!(delays.len(), 7);
+        assert!(delays.windows(2).all(|w| w[0] <= w[1]), "{delays:?}");
+        assert!(delays.iter().all(|d| *d <= policy.cap));
+        assert!(delays[0] >= policy.base);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_jitter() {
+        let policy = RetryPolicy::default();
+        let a: Vec<_> = policy.backoff(SimRng::seed_from(9)).collect();
+        let b: Vec<_> = policy.backoff(SimRng::seed_from(9)).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = policy.backoff(SimRng::seed_from(10)).collect();
+        assert_ne!(a, c, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn zero_jitter_is_pure_exponential() {
+        let policy = RetryPolicy {
+            base: SimDuration::from_secs(1),
+            cap: SimDuration::from_secs(30),
+            multiplier_percent: 200,
+            max_attempts: 5,
+            jitter_percent: 0,
+        };
+        let delays: Vec<_> = policy.backoff(SimRng::seed_from(1)).collect();
+        assert_eq!(
+            delays,
+            vec![
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(4),
+                SimDuration::from_secs(8),
+            ]
+        );
+    }
+
+    #[test]
+    fn single_attempt_budget_never_waits() {
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff(SimRng::seed_from(1)).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier")]
+    fn shrinking_multiplier_is_rejected() {
+        let _ = RetryPolicy {
+            multiplier_percent: 50,
+            ..RetryPolicy::default()
+        }
+        .validated();
+    }
+
+    #[test]
+    fn retry_rpc_succeeds_after_transient_failures() {
+        let policy = RetryPolicy {
+            jitter_percent: 0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = SimRng::seed_from(5);
+        let cost = SimDuration::from_millis(100);
+        let (finish, result) = retry_rpc(&policy, SimTime::ZERO, &mut rng, |t, attempt| {
+            if attempt < 2 {
+                (t + cost, Err("timeout"))
+            } else {
+                (t + cost, Ok(attempt))
+            }
+        });
+        assert_eq!(result, Ok(2));
+        // 3 attempts × 100 ms + backoff(250 ms + 500 ms).
+        assert_eq!(finish, SimTime::ZERO + SimDuration::from_millis(1_050));
+    }
+
+    #[test]
+    fn retry_rpc_exhausts_loudly() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut rng = SimRng::seed_from(6);
+        let (_, result): (_, Result<(), _>) =
+            retry_rpc(&policy, SimTime::ZERO, &mut rng, |t, _| {
+                (t + SimDuration::from_millis(10), Err("down"))
+            });
+        match result {
+            Err(RetryError::BudgetExhausted { attempts, last }) => {
+                assert_eq!(attempts, 3);
+                assert_eq!(last, "down");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_rpc_records_metrics() {
+        gridvm_simcore::metrics::reset();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        };
+        let mut rng = SimRng::seed_from(7);
+        let (_, result) = retry_rpc(&policy, SimTime::ZERO, &mut rng, |t, attempt| {
+            if attempt < 1 {
+                (t, Err("x"))
+            } else {
+                (t, Ok(()))
+            }
+        });
+        assert!(result.is_ok());
+        let m = gridvm_simcore::metrics::take();
+        assert_eq!(m.counter("gridmw.rpc_attempts"), 2);
+        assert_eq!(m.counter("gridmw.rpc_retries"), 1);
+        assert_eq!(m.counter("gridmw.retry_exhausted"), 0);
+    }
+
+    #[test]
+    fn error_display_names_the_budget() {
+        let e = RetryError::BudgetExhausted {
+            attempts: 6,
+            last: "timeout",
+        };
+        let s = e.to_string();
+        assert!(s.contains('6') && s.contains("timeout"));
+    }
+}

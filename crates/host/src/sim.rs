@@ -86,6 +86,13 @@ pub enum HostError {
         /// The offending id.
         TaskId,
     ),
+    /// The host crashed (injected fault) while the task was running.
+    Crashed {
+        /// The task that was being awaited.
+        task: TaskId,
+        /// When the crash took effect.
+        at: SimTime,
+    },
 }
 
 impl std::fmt::Display for HostError {
@@ -95,6 +102,9 @@ impl std::fmt::Display for HostError {
                 write!(f, "{task} did not complete within {cap}")
             }
             HostError::UnknownTask(id) => write!(f, "unknown task {id}"),
+            HostError::Crashed { task, at } => {
+                write!(f, "host crashed at {at} while running {task}")
+            }
         }
     }
 }
@@ -130,6 +140,7 @@ pub struct HostSim {
     background: Option<BackgroundLoad>,
     ran_last: BTreeSet<TaskId>,
     busy: SimDuration,
+    crash_at: Option<SimTime>,
 }
 
 impl std::fmt::Debug for HostSim {
@@ -157,7 +168,27 @@ impl HostSim {
             background: None,
             ran_last: BTreeSet::new(),
             busy: SimDuration::ZERO,
+            crash_at: None,
         }
+    }
+
+    /// Schedules a crash (fault injection): once simulated time
+    /// reaches `at`, [`run_until_complete`](HostSim::run_until_complete)
+    /// reports [`HostError::Crashed`] instead of making progress. A
+    /// later call replaces the pending crash.
+    pub fn schedule_crash(&mut self, at: SimTime) {
+        self.crash_at = Some(at);
+    }
+
+    /// The pending crash time, if one is scheduled.
+    pub fn crash_at(&self) -> Option<SimTime> {
+        self.crash_at
+    }
+
+    /// Clears a pending crash (the host was repaired / rebooted into
+    /// a fresh simulation segment).
+    pub fn clear_crash(&mut self) {
+        self.crash_at = None;
     }
 
     /// The host configuration.
@@ -357,7 +388,8 @@ impl HostSim {
     /// # Errors
     ///
     /// [`HostError::UnknownTask`] if `id` was never spawned;
-    /// [`HostError::Timeout`] if the cap elapses first.
+    /// [`HostError::Timeout`] if the cap elapses first;
+    /// [`HostError::Crashed`] if a scheduled crash fires first.
     pub fn run_until_complete(
         &mut self,
         id: TaskId,
@@ -370,6 +402,12 @@ impl HostSim {
         loop {
             if let Some(out) = self.finished.get(&id) {
                 return Ok(*out);
+            }
+            match self.crash_at {
+                Some(at) if self.now >= at => {
+                    return Err(HostError::Crashed { task: id, at });
+                }
+                _ => {}
             }
             if self.now >= deadline {
                 return Err(HostError::Timeout { task: id, cap });
@@ -549,6 +587,29 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, HostError::Timeout { .. }));
         assert!(err.to_string().contains("did not complete"));
+    }
+
+    #[test]
+    fn scheduled_crash_interrupts_the_run() {
+        let mut h = host(SchedulerKind::TimeShare);
+        let id = h.spawn(TaskSpec::compute(one_sec_work()));
+        h.schedule_crash(h.now() + SimDuration::from_millis(300));
+        let err = h
+            .run_until_complete(id, SimDuration::from_secs(5))
+            .unwrap_err();
+        match err {
+            HostError::Crashed { task, at } => {
+                assert_eq!(task, id);
+                assert!(at <= h.now(), "crash observed once time reached it");
+                assert!(h.now().as_secs_f64() < 0.5, "stopped promptly");
+            }
+            other => panic!("expected crash, got {other:?}"),
+        }
+        assert!(err.to_string().contains("crashed"));
+        // Repair: a fresh host segment resumes service.
+        h.clear_crash();
+        assert_eq!(h.crash_at(), None);
+        assert!(h.run_until_complete(id, SimDuration::from_secs(5)).is_ok());
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!   `FnOnce(&mut W, &mut Engine<W>)` closures over a caller-supplied
 //!   world type, ordered by `(time, sequence)` so same-time events run
 //!   in schedule order (deterministic tie-breaking).
+//! * [`fault`] — seeded, deterministic fault injection:
+//!   [`FaultPlan`](fault::FaultPlan) schedules typed faults
+//!   (host crash/slowdown, link partition/loss/latency, storage
+//!   errors, NFS timeouts) that every layer consults; a
+//!   [`FaultFeed`](fault::FaultFeed) guarantees each fault fires at
+//!   most once.
 //! * [`stats`] — online statistics (Welford), histograms and series
 //!   summaries used by every experiment harness.
 //! * [`metrics`] — counter/gauge/timer registries recorded into a
@@ -64,6 +70,7 @@
 pub mod audit;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod lru;
 pub mod metrics;
 pub mod replication;
@@ -75,6 +82,7 @@ pub mod trace;
 pub mod units;
 
 pub use engine::Engine;
+pub use fault::{FaultFeed, FaultKind, FaultPlan};
 pub use lru::LruSet;
 pub use metrics::Metrics;
 pub use replication::{ReplicationCtx, ReplicationRunner};

@@ -137,6 +137,20 @@ impl TraceLog {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Order-sensitive FNV-1a digest over every retained entry: two
+    /// logs agree iff they recorded the same causal history in the
+    /// same order. This is the regression anchor the golden-trace
+    /// tests pin.
+    pub fn digest(&self) -> u64 {
+        let mut h = crate::fault::Fnv::new();
+        for e in &self.entries {
+            h.mix(&e.time.as_nanos().to_le_bytes());
+            h.mix(e.category.as_bytes());
+            h.mix(e.message.as_bytes());
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +203,26 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("vmm"));
         assert!(s.contains("vm-1 resumed"));
+    }
+
+    #[test]
+    fn digest_tracks_content_and_order() {
+        let mut a = TraceLog::with_capacity(8);
+        let mut b = TraceLog::with_capacity(8);
+        for log in [&mut a, &mut b] {
+            log.record(t(1), "vmm", "boot".into());
+            log.record(t(2), "vfs", "read".into());
+        }
+        assert_eq!(a.digest(), b.digest());
+        let mut c = TraceLog::with_capacity(8);
+        c.record(t(2), "vfs", "read".into());
+        c.record(t(1), "vmm", "boot".into());
+        assert_ne!(a.digest(), c.digest(), "order matters");
+        assert_eq!(
+            TraceLog::default().digest(),
+            TraceLog::with_capacity(1).digest(),
+            "empty logs share the offset basis"
+        );
     }
 
     #[test]

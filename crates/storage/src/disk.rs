@@ -91,6 +91,7 @@ pub struct DiskModel {
     last_block: Option<BlockAddr>,
     blocks_read: u64,
     blocks_written: u64,
+    slowdown_percent: u32,
 }
 
 impl DiskModel {
@@ -103,7 +104,29 @@ impl DiskModel {
             last_block: None,
             blocks_read: 0,
             blocks_written: 0,
+            slowdown_percent: 0,
             profile,
+        }
+    }
+
+    /// Degrades the disk (fault injection): every subsequent access —
+    /// seeks, transfers and cache hits alike — takes `percent` %
+    /// longer. Zero restores nominal speed.
+    pub fn set_slowdown_percent(&mut self, percent: u32) {
+        self.slowdown_percent = percent;
+    }
+
+    /// The current slowdown, in percent (0 = nominal).
+    pub fn slowdown_percent(&self) -> u32 {
+        self.slowdown_percent
+    }
+
+    /// Scales a nominal service time by the active slowdown.
+    fn degraded(&self, nominal: SimDuration) -> SimDuration {
+        if self.slowdown_percent == 0 {
+            nominal
+        } else {
+            nominal.mul_f64(1.0 + self.slowdown_percent as f64 / 100.0)
         }
     }
 
@@ -148,7 +171,7 @@ impl DiskModel {
                 if self.cache.touch(addr) {
                     return ServiceGrant {
                         start: now,
-                        finish: now + self.profile.cache_hit_time,
+                        finish: now + self.degraded(self.profile.cache_hit_time),
                     };
                 }
             }
@@ -165,6 +188,7 @@ impl DiskModel {
         };
         self.last_block = Some(addr);
         self.cache.insert(addr);
+        let service = self.degraded(service);
         self.arm.admit(now, service)
     }
 
@@ -204,10 +228,11 @@ impl DiskModel {
         if uncached == 0 {
             return ServiceGrant {
                 start: now,
-                finish: now + self.profile.cache_hit_time * count,
+                finish: now + self.degraded(self.profile.cache_hit_time * count),
             };
         }
-        let service = self.profile.seek + self.profile.transfer_per_block() * uncached;
+        let service =
+            self.degraded(self.profile.seek + self.profile.transfer_per_block() * uncached);
         self.last_block = Some(BlockAddr(start.0 + count - 1));
         self.arm.admit(now, service)
     }
@@ -254,6 +279,27 @@ mod tests {
             d.profile.seek + d.profile.transfer_per_block(),
             "jump pays a seek"
         );
+    }
+
+    #[test]
+    fn slowdown_stretches_every_path() {
+        let mut d = model();
+        d.set_slowdown_percent(50);
+        assert_eq!(d.slowdown_percent(), 50);
+        // Cold single-block read: 1.5× nominal.
+        let g = d.access(SimTime::ZERO, BlockAddr(10), AccessKind::Read);
+        let nominal = d.profile.seek + d.profile.transfer_per_block();
+        assert_eq!(g.finish.duration_since(SimTime::ZERO), nominal.mul_f64(1.5));
+        // Cache hit: 1.5× hit time.
+        let warm = d.access(g.finish, BlockAddr(10), AccessKind::Read);
+        assert_eq!(
+            warm.latency_from(g.finish),
+            d.profile.cache_hit_time.mul_f64(1.5)
+        );
+        // Back to nominal once the fault clears.
+        d.set_slowdown_percent(0);
+        let g2 = d.access(warm.finish, BlockAddr(500), AccessKind::Read);
+        assert_eq!(g2.latency_from(warm.finish), nominal);
     }
 
     #[test]

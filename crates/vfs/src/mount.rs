@@ -98,6 +98,20 @@ impl Transport {
         self.label
     }
 
+    /// Adds `extra` to the per-RPC stack overhead (fault injection: a
+    /// latency spike on the NFS/proxy path). Every subsequent RPC —
+    /// and [`round_trip_estimate`](Transport::round_trip_estimate) —
+    /// pays the surcharge; the deltas accumulate. To clear a spike,
+    /// rebuild the transport.
+    pub fn add_rpc_latency(&mut self, extra: SimDuration) {
+        self.per_rpc += extra;
+    }
+
+    /// The current per-RPC stack overhead.
+    pub fn per_rpc(&self) -> SimDuration {
+        self.per_rpc
+    }
+
     /// An unloaded small-RPC round-trip estimate (two wire
     /// traversals plus stack overhead) — used for mount handshakes
     /// and other control traffic.
@@ -403,6 +417,32 @@ mod tests {
         let elapsed = done.duration_since(SimTime::from_secs(1)).as_secs_f64();
         // 8 RPCs, each ~2*17ms latency + transfer: > 0.27 s, < 1 s.
         assert!((0.25..1.0).contains(&elapsed), "WAN 64KiB read {elapsed}s");
+    }
+
+    #[test]
+    fn latency_spike_surcharges_every_rpc() {
+        let spike = SimDuration::from_millis(40);
+        let mut plain = Transport::lan();
+        let base_rtt = plain.round_trip_estimate();
+        plain.add_rpc_latency(spike);
+        assert_eq!(plain.round_trip_estimate(), base_rtt + spike);
+        assert_eq!(plain.per_rpc(), SimDuration::from_micros(400) + spike);
+
+        let run = |t: Transport| {
+            let mut m = mount(t, None);
+            let root = m.server().fs().root();
+            let (_, fh) = m.lookup(SimTime::ZERO, root, "big");
+            let (done, _) = m.read_range(SimTime::from_secs(1), fh.unwrap(), 0, 64 * 1024);
+            done.duration_since(SimTime::from_secs(1))
+        };
+        let mut spiked = Transport::lan();
+        spiked.add_rpc_latency(spike);
+        let extra = run(spiked).saturating_sub(run(Transport::lan()));
+        // lookup + 8 data RPCs each pay the 40 ms surcharge.
+        assert!(
+            extra >= spike * 8,
+            "expected ≥8 surcharged RPCs, got {extra}"
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub struct NetLink {
     latency: SimDuration,
     bandwidth: Bandwidth,
     up: bool,
+    outage: Option<(SimTime, SimTime)>,
 }
 
 impl NetLink {
@@ -48,6 +49,7 @@ impl NetLink {
             latency,
             bandwidth,
             up: true,
+            outage: None,
         }
     }
 
@@ -61,9 +63,39 @@ impl NetLink {
         self.bandwidth
     }
 
-    /// Whether the link is currently up.
+    /// Whether the link is administratively up (a scheduled outage
+    /// window may still reject traffic — see
+    /// [`up_at`](NetLink::up_at)).
     pub fn is_up(&self) -> bool {
         self.up
+    }
+
+    /// Whether the link would carry traffic at `now`: administratively
+    /// up and outside any scheduled outage window.
+    pub fn up_at(&self, now: SimTime) -> bool {
+        self.up
+            && !self
+                .outage
+                .is_some_and(|(from, until)| now >= from && now < until)
+    }
+
+    /// Schedules a partition window (fault injection): sends inside
+    /// `[from, until)` fail with [`LinkError::Down`] and the link
+    /// heals by itself afterwards. A later call replaces the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is empty (`until <= from`).
+    pub fn schedule_outage(&mut self, from: SimTime, until: SimTime) {
+        assert!(until > from, "empty outage window");
+        self.outage = Some((from, until));
+    }
+
+    /// End of the scheduled outage window covering `now`, if one does.
+    pub fn outage_until(&self, now: SimTime) -> Option<SimTime> {
+        self.outage
+            .filter(|(from, until)| now >= *from && now < *until)
+            .map(|(_, until)| until)
     }
 
     /// Takes the link down (failure injection).
@@ -91,9 +123,10 @@ impl NetLink {
     ///
     /// # Errors
     ///
-    /// [`LinkError::Down`] when the link is down.
+    /// [`LinkError::Down`] when the link is down or inside a
+    /// scheduled outage window.
     pub fn send(&mut self, now: SimTime, size: ByteSize) -> Result<ServiceGrant, LinkError> {
-        if !self.up {
+        if !self.up_at(now) {
             return Err(LinkError::Down);
         }
         Ok(self.pipe.send(now, size))
@@ -154,6 +187,29 @@ mod tests {
             slow.latency_from(fast.finish) > fast.latency_from(SimTime::ZERO) * 10,
             "degraded link must be much slower"
         );
+    }
+
+    #[test]
+    fn scheduled_outage_rejects_then_self_heals() {
+        let mut l = NetLink::new(
+            SimDuration::from_millis(1),
+            Bandwidth::from_mbit_per_sec(10.0),
+        );
+        let from = SimTime::from_secs(10);
+        let until = SimTime::from_secs(20);
+        l.schedule_outage(from, until);
+        // Before the window: fine.
+        assert!(l.send(SimTime::from_secs(5), ByteSize::from_kib(1)).is_ok());
+        // Inside: partitioned, with the heal time visible.
+        assert_eq!(
+            l.send(SimTime::from_secs(15), ByteSize::from_kib(1)),
+            Err(LinkError::Down)
+        );
+        assert_eq!(l.outage_until(SimTime::from_secs(15)), Some(until));
+        assert!(l.is_up(), "outage is not an administrative down");
+        // At the heal boundary and after: fine again, no manual set_up.
+        assert!(l.send(until, ByteSize::from_kib(1)).is_ok());
+        assert_eq!(l.outage_until(until), None);
     }
 
     #[test]

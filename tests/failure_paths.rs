@@ -2,22 +2,29 @@
 //! and consistently when authorization, capacity, connectivity or
 //! state-machine preconditions are violated.
 
+use gridvm::core::recovery::{run_resilient_session, ChaosError, Cluster, RecoveryConfig};
+use gridvm::core::session::SessionRequest;
+use gridvm::core::startup::{StartupConfig, StartupMode, StateAccess};
 use gridvm::gridmw::accounts::{AccountError, AccountPool};
 use gridvm::gridmw::gram::{GramError, GramServer, JobRequest};
 use gridvm::sched::constraint::{compile, PolicyError};
+use gridvm::simcore::fault::{FaultKind, FaultPlan};
+use gridvm::simcore::rng::SimRng;
 use gridvm::simcore::time::{SimDuration, SimTime};
-use gridvm::simcore::units::{Bandwidth, ByteSize};
+use gridvm::simcore::trace::TraceLog;
+use gridvm::simcore::units::{Bandwidth, ByteSize, CpuWork};
 use gridvm::storage::block::{BlockAddr, BlockStore, StorageError};
 use gridvm::storage::disk::{DiskModel, DiskProfile};
 use gridvm::vfs::mount::{Mount, Transport};
 use gridvm::vfs::protocol::{NfsError, NfsRequest};
 use gridvm::vfs::server::NfsServer;
-use gridvm::vmm::machine::{Vm, VmConfig};
+use gridvm::vmm::machine::{DiskMode, Vm, VmConfig};
 use gridvm::vnet::addr::{Ipv4Addr, MacAddr, Subnet};
 use gridvm::vnet::dhcp::DhcpServer;
 use gridvm::vnet::link::NetLink;
 use gridvm::vnet::overlay::{Overlay, OverlayError};
 use gridvm::vnet::tunnel::{EthernetTunnel, Vpn, VpnError};
+use gridvm::workloads::AppProfile;
 
 #[test]
 fn unauthorized_user_cannot_start_vms() {
@@ -184,4 +191,107 @@ fn partitioned_overlay_reports_unreachable() {
         ov.route(a, b),
         Err(OverlayError::Unreachable { from: a, to: b })
     );
+}
+
+// ---- resilient-session failure paths -------------------------------
+//
+// The recovery layer must convert injected infrastructure faults into
+// typed, displayable session errors — never a panic, never a hang.
+
+fn chaos_request() -> SessionRequest {
+    SessionRequest {
+        user: "userX".into(),
+        image: "rh72".into(),
+        min_cores: 2,
+        startup: StartupConfig::table2(
+            StartupMode::Restore,
+            DiskMode::NonPersistent,
+            StateAccess::DiskFs,
+        ),
+        app: AppProfile::new("chaos-app", CpuWork::from_cycles(96_000_000_000)),
+    }
+}
+
+fn run_chaos(plan: &FaultPlan) -> Result<gridvm::core::recovery::ChaosReport, ChaosError> {
+    let mut cluster = Cluster::paper_lan(3, "rh72", "userX");
+    let mut rng = SimRng::seed_from(20030517);
+    let mut trace = TraceLog::default();
+    run_resilient_session(
+        &mut cluster,
+        &chaos_request(),
+        &RecoveryConfig::default(),
+        plan,
+        &mut rng,
+        &mut trace,
+    )
+}
+
+#[test]
+fn partition_during_image_transfer_times_out_loudly() {
+    // The crash forces a migration; the recovery target's link then
+    // partitions for far longer than the session is willing to wait
+    // for the suspend-image transfer.
+    let patience = RecoveryConfig::default().partition_patience;
+    let plan = FaultPlan::new()
+        .with("node0", SimTime::from_secs(80), FaultKind::HostCrash)
+        .with(
+            "node1",
+            SimTime::from_secs(80),
+            FaultKind::LinkPartition {
+                heal_after: patience * 4,
+            },
+        );
+    let err = run_chaos(&plan).unwrap_err();
+    match err {
+        ChaosError::PartitionTimeout { waited, at } => {
+            assert!(waited >= patience, "gave up before the patience budget");
+            assert!(at >= SimTime::from_secs(80), "timeout predates the crash");
+        }
+        other => panic!("expected partition timeout, got {other}"),
+    }
+    assert!(err.to_string().contains("partition"), "{err}");
+}
+
+#[test]
+fn storage_fault_during_checkpoint_commit_is_fatal_and_named() {
+    // The destination host's disk throws an I/O error while the
+    // suspended image (the COW checkpoint state) is being committed.
+    let plan = FaultPlan::new()
+        .with("node0", SimTime::from_secs(80), FaultKind::HostCrash)
+        .with("node1", SimTime::from_secs(80), FaultKind::StorageIoError);
+    let err = run_chaos(&plan).unwrap_err();
+    match err {
+        ChaosError::StorageFault { op, at } => {
+            assert_eq!(op, "checkpoint-commit");
+            assert!(at >= SimTime::from_secs(80));
+        }
+        other => panic!("expected storage fault, got {other}"),
+    }
+    assert!(err.to_string().contains("checkpoint-commit"), "{err}");
+}
+
+#[test]
+fn retry_budget_exhaustion_fails_the_session_loudly() {
+    // More NFS/MDS timeouts than the default six-attempt budget,
+    // queued from the first instant: resource discovery can never get
+    // an answer and must give up with a typed error naming the
+    // operation, not spin forever.
+    let budget = gridvm::gridmw::retry::RetryPolicy::default().max_attempts;
+    let mut plan = FaultPlan::new();
+    for i in 0..u64::from(budget) + 2 {
+        plan = plan.with(
+            "nfs",
+            SimTime::from_nanos((i + 1) * 1_000_000),
+            FaultKind::NfsTimeout,
+        );
+    }
+    let err = run_chaos(&plan).unwrap_err();
+    match err {
+        ChaosError::RetryBudgetExhausted { op, at } => {
+            assert!(!op.is_empty(), "exhaustion must name the operation");
+            assert!(at > SimTime::ZERO, "six backed-off attempts take time");
+        }
+        other => panic!("expected retry exhaustion, got {other}"),
+    }
+    assert!(err.to_string().contains("retry budget"), "{err}");
 }
