@@ -25,6 +25,25 @@ fn bench_engine(c: &mut Criterion) {
         })
     });
 
+    c.bench_function("engine: 10k chained events, inline arg dispatch", |b| {
+        // The allocation-free path: the countdown rides in the
+        // event's inline argument word instead of a closure capture.
+        b.iter(|| {
+            let mut en: Engine<u64> = Engine::new();
+            let mut world = 0u64;
+            fn chain(target: u64, w: &mut u64, en: &mut Engine<u64>) {
+                *w += 1;
+                if *w < target {
+                    en.schedule_arg_in(SimDuration::from_micros(10), target, chain);
+                }
+            }
+            en.schedule_arg_now(10_000, chain);
+            en.run(&mut world);
+            assert_eq!(world, 10_000);
+            world
+        })
+    });
+
     c.bench_function("event queue: push/pop 10k with cancellations", |b| {
         b.iter_batched(
             || {

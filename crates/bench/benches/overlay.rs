@@ -39,6 +39,40 @@ fn bench_overlay(c: &mut Criterion) {
         });
     }
 
+    c.bench_function("overlay: cached routed packet churn, 24 nodes", |b| {
+        // Per-packet route lookups dominated by cache hits, with a
+        // measurement update every 256 packets forcing SPT/pair
+        // recomputation — the routed-traffic shape of the ablation
+        // runs.
+        b.iter_batched(
+            || full_mesh(24),
+            |mut ov| {
+                let nodes = ov.nodes().to_vec();
+                let mut total = SimDuration::ZERO;
+                for i in 0..10_000usize {
+                    if i % 256 == 0 {
+                        let a = nodes[i / 256 % nodes.len()];
+                        let z = nodes[(i / 256 * 5 + 1) % nodes.len()];
+                        if a != z {
+                            ov.update_measurement(
+                                a,
+                                z,
+                                SimDuration::from_millis(5 + (i as u64 % 80)),
+                            );
+                        }
+                    }
+                    let a = nodes[i * 7919 % nodes.len()];
+                    let z = nodes[(i * 104_729 + 1) % nodes.len()];
+                    if a != z {
+                        total += ov.route_ref(a, z).expect("connected").latency;
+                    }
+                }
+                total
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
     c.bench_function("overlay: degrade + reroute cycle, 16 nodes", |b| {
         b.iter_batched(
             || full_mesh(16),

@@ -30,16 +30,18 @@ use gridvm_simcore::time::{SimDuration, SimTime};
 use gridvm_vfs::fs::FileHandle;
 use gridvm_vfs::protocol::NFS_BLOCK;
 use gridvm_vfs::proxy::{ProxyConfig, VfsProxy};
+use gridvm_vnet::overlay::{NodeId, Overlay};
 
 struct Baseline;
 
 /// Scenario labels; `run_sample` dispatches on index.
-const SCENARIOS: [&str; 5] = [
+const SCENARIOS: [&str; 6] = [
     "engine: chained events",
     "queue: push+pop random times",
     "queue: push/cancel/drain mix",
     "lru: touch-or-insert churn",
     "proxy: block churn",
+    "overlay: routed packet churn",
 ];
 
 /// Events/operations per sample at full size (quick mode divides by
@@ -79,11 +81,12 @@ impl Experiment for Baseline {
             0 => {
                 // The Engine::run loop: one chained event at a time,
                 // the dominant shape of every reproduction binary.
+                // The target threads through the event's inline word,
+                // so the loop never touches the allocator.
                 let started = Instant::now();
                 let mut en: Engine<u64> = Engine::new();
                 let mut world = 0u64;
-                let target = n;
-                en.schedule_now(move |w: &mut u64, en| chain(w, en, target));
+                en.schedule_arg_now(n, chain);
                 en.run(&mut world);
                 assert_eq!(world, n);
                 (n, started.elapsed())
@@ -147,6 +150,47 @@ impl Experiment for Baseline {
                 }
                 (churn, started.elapsed())
             }
+            5 => {
+                // Per-packet route lookups against a probed mesh, with
+                // periodic measurement churn forcing cache
+                // invalidation — the shape of the overlay ablation
+                // runs.
+                let mut ov = Overlay::new();
+                let nodes: Vec<NodeId> = (0..24).map(|_| ov.add_node()).collect();
+                ov.probe_mesh(SimTime::ZERO, |a, b| {
+                    Some(SimDuration::from_micros(
+                        200 + (u64::from(a.0) * 31 + u64::from(b.0) * 17) % 800,
+                    ))
+                });
+                let pairs: Vec<(NodeId, NodeId)> = (0..n)
+                    .map(|_| {
+                        let a = nodes[(rng.next_u64() % 24) as usize];
+                        let b = nodes[(rng.next_u64() % 24) as usize];
+                        (a, b)
+                    })
+                    .collect();
+                let churn: Vec<(NodeId, NodeId, u64)> = (0..n / 4096 + 1)
+                    .map(|_| {
+                        let a = nodes[(rng.next_u64() % 24) as usize];
+                        let b = nodes[(rng.next_u64() % 24) as usize];
+                        (a, b, 200 + rng.next_u64() % 800)
+                    })
+                    .collect();
+                let started = Instant::now();
+                let mut latency = SimDuration::ZERO;
+                for (i, (a, b)) in pairs.iter().enumerate() {
+                    if i % 4096 == 0 {
+                        let (x, y, us) = churn[i / 4096];
+                        if x != y {
+                            ov.update_measurement(x, y, SimDuration::from_micros(us));
+                        }
+                    }
+                    let r = ov.route_ref(*a, *b).expect("full mesh is connected");
+                    latency += r.latency;
+                }
+                assert!(latency > SimDuration::ZERO);
+                (n, started.elapsed())
+            }
             other => unreachable!("unknown scenario {other}"),
         };
         let secs = elapsed.as_secs_f64().max(1e-9);
@@ -166,13 +210,12 @@ impl Experiment for Baseline {
     }
 }
 
-/// One self-rescheduling simulation event.
-fn chain(w: &mut u64, en: &mut Engine<u64>, target: u64) {
+/// One self-rescheduling simulation event; the remaining-target count
+/// rides in the event's inline argument word (no per-event boxing).
+fn chain(target: u64, w: &mut u64, en: &mut Engine<u64>) {
     *w += 1;
     if *w < target {
-        en.schedule_in(SimDuration::from_micros(10), move |w: &mut u64, en| {
-            chain(w, en, target)
-        });
+        en.schedule_arg_in(SimDuration::from_micros(10), target, chain);
     }
 }
 

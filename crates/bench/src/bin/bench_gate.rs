@@ -1,0 +1,175 @@
+//! Bench-regression gate: compares a fresh `baseline` run against the
+//! committed perf trajectory point.
+//!
+//! CI runs `baseline --quick --json <fresh.json>` and then this
+//! binary:
+//!
+//! ```text
+//! cargo run --release -p gridvm-bench --bin bench_gate -- \
+//!     --committed BENCH_simcore.json --fresh /tmp/fresh.json \
+//!     [--scenario "engine: chained events"] [--max-drop 0.30]
+//! ```
+//!
+//! The gate fails (exit 1) when the fresh `ops_per_sec` mean for the
+//! gated scenario drops more than `--max-drop` (default 30%) below
+//! the committed mean. Only drops fail: wall-clock throughput is
+//! machine-dependent, so the committed number is a *floor* with slack,
+//! not a target. Both files use the `gridvm-bench/v1` schema emitted
+//! by the harness; the values are extracted with a purpose-built
+//! string scan (the workspace deliberately has no JSON dependency).
+
+use std::process::ExitCode;
+
+/// Scenario gated by default: the engine chained-event loop is the
+/// substrate headline number every reproduction binary rides on.
+const DEFAULT_SCENARIO: &str = "engine: chained events";
+
+/// Default tolerated drop below the committed mean. Generous because
+/// CI machines are noisy and slower than the machine that recorded
+/// the committed point; the gate exists to catch order-of-magnitude
+/// regressions (an accidental O(n) in the hot loop), not 10% drifts.
+const DEFAULT_MAX_DROP: f64 = 0.30;
+
+/// Extracts the `ops_per_sec` mean for `scenario` from a
+/// `gridvm-bench/v1` report: finds the scenario's label, then the
+/// first `"ops_per_sec"` measurement after it, then its `"mean"`.
+fn ops_per_sec_mean(json: &str, scenario: &str) -> Result<f64, String> {
+    let label_token = format!("\"label\":\"{scenario}\"");
+    let at = json
+        .find(&label_token)
+        .ok_or_else(|| format!("scenario {scenario:?} not found in report"))?;
+    let rest = &json[at..];
+    let ops = rest
+        .find("\"ops_per_sec\":{")
+        .ok_or_else(|| format!("scenario {scenario:?} has no ops_per_sec measurement"))?;
+    let rest = &rest[ops..];
+    let mean_token = "\"mean\":";
+    let mean = rest
+        .find(mean_token)
+        .ok_or_else(|| format!("scenario {scenario:?} ops_per_sec has no mean"))?;
+    let tail = &rest[mean + mean_token.len()..];
+    let end = tail
+        .find([',', '}'])
+        .ok_or_else(|| format!("unterminated mean value for {scenario:?}"))?;
+    tail[..end]
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| format!("unparseable mean {:?} for {scenario:?}: {e}", &tail[..end]))
+}
+
+struct Args {
+    committed: String,
+    fresh: String,
+    scenario: String,
+    max_drop: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut committed = None;
+    let mut fresh = None;
+    let mut scenario = DEFAULT_SCENARIO.to_owned();
+    let mut max_drop = DEFAULT_MAX_DROP;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match flag.as_str() {
+            "--committed" => committed = Some(value("--committed")?),
+            "--fresh" => fresh = Some(value("--fresh")?),
+            "--scenario" => scenario = value("--scenario")?,
+            "--max-drop" => {
+                max_drop = value("--max-drop")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--max-drop: {e}"))?;
+                if !(0.0..1.0).contains(&max_drop) {
+                    return Err("--max-drop must be in [0, 1)".to_owned());
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        committed: committed.ok_or("--committed <file> is required")?,
+        fresh: fresh.ok_or("--fresh <file> is required")?,
+        scenario,
+        max_drop,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let committed = std::fs::read_to_string(&args.committed)
+        .map_err(|e| format!("reading {}: {e}", args.committed))?;
+    let fresh =
+        std::fs::read_to_string(&args.fresh).map_err(|e| format!("reading {}: {e}", args.fresh))?;
+    let want = ops_per_sec_mean(&committed, &args.scenario)?;
+    let got = ops_per_sec_mean(&fresh, &args.scenario)?;
+    let floor = want * (1.0 - args.max_drop);
+    println!(
+        "bench_gate: {:?} committed {want:.0} ops/sec, fresh {got:.0} ops/sec, floor {floor:.0} \
+         (max drop {:.0}%)",
+        args.scenario,
+        args.max_drop * 100.0
+    );
+    if got < floor {
+        return Err(format!(
+            "regression: fresh {got:.0} ops/sec is {:.1}% below the committed {want:.0}",
+            (1.0 - got / want) * 100.0
+        ));
+    }
+    println!("bench_gate: OK");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_gate: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal but faithful excerpt of the `gridvm-bench/v1` shape.
+    const SAMPLE: &str = r#"{"schema":"gridvm-bench/v1","scenarios":[
+        {"label":"engine: chained events","samples":5,"paper":null,
+         "measurements":{"ops_per_sec":{"count":5,"mean":42132855.097271875,"std":770302.34,"min":41457238.5,"max":43048820.8},
+                         "wall_us":{"count":5,"mean":2374.07,"std":43.13,"min":2322.9,"max":2412.1}},
+         "metrics":{"counters":{"sim.events_executed":500000},"gauges":{},"timers":{}}},
+        {"label":"queue: push+pop random times","samples":5,"paper":null,
+         "measurements":{"ops_per_sec":{"count":5,"mean":7578472.375,"std":806744.57,"min":6307862.2,"max":8293575.3}},
+         "metrics":{"counters":{},"gauges":{},"timers":{}}}]}"#;
+
+    #[test]
+    fn extracts_the_right_scenario_mean() {
+        let v = ops_per_sec_mean(SAMPLE, "engine: chained events").unwrap();
+        assert!((v - 42_132_855.097_271_875).abs() < 1e-6);
+        let v = ops_per_sec_mean(SAMPLE, "queue: push+pop random times").unwrap();
+        assert!((v - 7_578_472.375).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_scenario_is_an_error() {
+        let err = ops_per_sec_mean(SAMPLE, "no such scenario").unwrap_err();
+        assert!(err.contains("not found"), "{err}");
+    }
+
+    #[test]
+    fn truncated_report_is_an_error() {
+        let cut = &SAMPLE[..SAMPLE.find("ops_per_sec").unwrap()];
+        let err = ops_per_sec_mean(cut, "engine: chained events").unwrap_err();
+        assert!(err.contains("no ops_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn mean_is_read_from_ops_not_wall_us() {
+        // wall_us also has a "mean"; the scan must anchor on the
+        // ops_per_sec object first.
+        let v = ops_per_sec_mean(SAMPLE, "engine: chained events").unwrap();
+        assert!(v > 1e6, "got wall_us mean by mistake: {v}");
+    }
+}

@@ -343,7 +343,7 @@ fn info_query_with_retry(
         let finish = start + INFO_QUERY_COST;
         match feed.take_matching(SimTime::ZERO, finish, |e| e.kind == FaultKind::NfsTimeout) {
             Some(e) => {
-                note_fault(trace, &e);
+                note_fault(trace, e);
                 (finish, Err(()))
             }
             None => (finish, Ok(())),
@@ -430,7 +430,7 @@ fn drive_session(
                 break breakdown;
             }
             Some(crash) => {
-                note_fault(trace, &crash);
+                note_fault(trace, crash);
                 metrics::counter_add("recovery.startup_retries", 1);
                 t = crash.at + cfg.detect_timeout;
                 t = info_query_with_retry(&mut feed, cfg, trace, t, rng, "startup-reselect")?;
@@ -507,7 +507,7 @@ fn drive_session(
             if let FaultKind::HostSlowdown { percent } = e.kind {
                 host_slow = host_slow.max(percent);
             }
-            note_fault(trace, &e);
+            note_fault(trace, e);
         }
         let mut disk_slow = 0u32;
         while let Some(e) = feed.take_matching(SimTime::ZERO, horizon, |e| {
@@ -516,7 +516,7 @@ fn drive_session(
             if let FaultKind::StorageSlow { percent } = e.kind {
                 disk_slow = disk_slow.max(percent);
             }
-            note_fault(trace, &e);
+            note_fault(trace, e);
             cluster.hosts[host_idx].disk.set_slowdown_percent(disk_slow);
         }
         let ckpt_cost = cfg.checkpoint_cost.mul_f64(1.0 + disk_slow as f64 / 100.0);
@@ -531,7 +531,7 @@ fn drive_session(
             t = planned_end;
             break;
         };
-        note_fault(trace, &crash);
+        note_fault(trace, crash);
         let tc = crash.at;
 
         // Progress at the crash, rounded down to the last checkpoint.
@@ -566,7 +566,7 @@ fn drive_session(
         if let Some(e) = feed.take_matching(SimTime::ZERO, lookahead, |e| {
             e.target == next_name && e.kind == FaultKind::StorageIoError
         }) {
-            note_fault(trace, &e);
+            note_fault(trace, e);
             return Err(ChaosError::StorageFault {
                 op: "checkpoint-commit",
                 at: rt,
@@ -578,7 +578,7 @@ fn drive_session(
         if let Some(e) = feed.take_matching(SimTime::ZERO, lookahead, |e| {
             e.target == next_name && matches!(e.kind, FaultKind::LinkPartition { .. })
         }) {
-            note_fault(trace, &e);
+            note_fault(trace, e);
             if let FaultKind::LinkPartition { heal_after } = e.kind {
                 if !heal_after.is_zero() {
                     cluster.links[next].schedule_outage(e.at, e.at + heal_after);
@@ -610,7 +610,7 @@ fn drive_session(
         if let Some(e) = feed.take_matching(SimTime::ZERO, lookahead, |e| {
             e.target == next_name && e.kind == FaultKind::LinkLoss
         }) {
-            note_fault(trace, &e);
+            note_fault(trace, e);
             metrics::counter_add("gridmw.rpc_retries", 1);
             let delay = cfg
                 .retry
@@ -668,7 +668,7 @@ fn drive_session(
         if let Some(e) = feed.take_matching(SimTime::ZERO, lookahead, |e| {
             e.target == next_name && matches!(e.kind, FaultKind::LatencySpike { .. })
         }) {
-            note_fault(trace, &e);
+            note_fault(trace, e);
             if let FaultKind::LatencySpike { extra } = e.kind {
                 lan.add_rpc_latency(extra);
             }

@@ -264,12 +264,19 @@ impl FaultFeed {
 
     /// Takes (consumes) the earliest unconsumed event with
     /// `start <= at < end` matching `pred`, if any.
+    ///
+    /// Returns a borrow of the event rather than a clone: polling
+    /// loops call this once per recovery window, and the event's
+    /// `target: String` made every miss-then-match poll an
+    /// allocation. Callers that need to retain the event clone it
+    /// explicitly.
     pub fn take_matching(
         &mut self,
         start: SimTime,
         end: SimTime,
         pred: impl Fn(&FaultEvent) -> bool,
-    ) -> Option<FaultEvent> {
+    ) -> Option<&FaultEvent> {
+        let mut found = None;
         for (i, e) in self.plan.events.iter().enumerate() {
             if self.consumed[i] {
                 continue;
@@ -278,22 +285,25 @@ impl FaultFeed {
                 break; // sorted: nothing later can match the window
             }
             if e.at >= start && pred(e) {
-                self.consumed[i] = true;
-                return Some(e.clone());
+                found = Some(i);
+                break;
             }
         }
-        None
+        let i = found?;
+        self.consumed[i] = true;
+        Some(&self.plan.events[i])
     }
 
     /// Takes the earliest unconsumed event for `target` whose kind's
-    /// layer matches, within `[start, end)`.
+    /// layer matches, within `[start, end)`. Borrows like
+    /// [`take_matching`](FaultFeed::take_matching).
     pub fn take_for(
         &mut self,
         target: &str,
         layer: FaultLayer,
         start: SimTime,
         end: SimTime,
-    ) -> Option<FaultEvent> {
+    ) -> Option<&FaultEvent> {
         self.take_matching(start, end, |e| {
             e.target == target && e.kind.layer() == layer
         })

@@ -17,9 +17,13 @@
 //!   xoshiro256++) plus the distributions the workload and load-trace
 //!   generators need.
 //! * [`event`] + [`engine`] — the event queue and executor. Events are
-//!   `FnOnce(&mut W, &mut Engine<W>)` closures over a caller-supplied
-//!   world type, ordered by `(time, sequence)` so same-time events run
-//!   in schedule order (deterministic tie-breaking).
+//!   [`Event<W>`](engine::Event) handlers over a caller-supplied world
+//!   type — function pointers with up to two inline argument words
+//!   stored directly in recycled arena slots, with a counted `Box`
+//!   fallback for closures with larger captures — ordered by
+//!   `(time, sequence)` so same-time events run in schedule order
+//!   (deterministic tie-breaking). A timing-wheel front-end stages
+//!   near-future events in O(1) buckets ahead of the 4-ary heap.
 //! * [`fault`] — seeded, deterministic fault injection:
 //!   [`FaultPlan`](fault::FaultPlan) schedules typed faults
 //!   (host crash/slowdown, link partition/loss/latency, storage

@@ -270,6 +270,26 @@ pub fn reset() {
     FAST_COUNTERS.with(|f| f.borrow_mut().iter_mut().for_each(|v| *v = 0));
 }
 
+/// [`reset`] plus pre-sizing: grows this thread's fast-counter cells
+/// to cover every counter registered so far, so no `Counter::add`
+/// mid-replication has to regrow the vector. The replication runner
+/// calls this before each replication — by then the first replication
+/// (or the process's warm-up) has registered the hot counters.
+pub fn reset_presized() {
+    CONTEXT.with(|c| *c.borrow_mut() = Metrics::new());
+    let registered = COUNTER_REGISTRY
+        .lock()
+        .expect("counter registry poisoned")
+        .len();
+    FAST_COUNTERS.with(|f| {
+        let mut cells = f.borrow_mut();
+        cells.iter_mut().for_each(|v| *v = 0);
+        if cells.len() < registered {
+            cells.resize(registered, 0);
+        }
+    });
+}
+
 /// Takes this thread's metrics context, leaving an empty one.
 /// Pre-resolved [`Counter`] cells are folded in by name.
 pub fn take() -> Metrics {

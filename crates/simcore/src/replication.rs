@@ -124,7 +124,10 @@ impl ReplicationRunner {
             };
             // A fresh context per replication: activity from other
             // replications sharing this OS thread must not bleed in.
-            metrics::reset();
+            // Pre-sized to the counters registered so far, so hot
+            // Counter::add calls never regrow the cell vector
+            // mid-replication.
+            metrics::reset_presized();
             let result = f(&ctx);
             (result, metrics::take())
         };

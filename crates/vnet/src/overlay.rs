@@ -10,7 +10,17 @@
 
 use std::collections::{BTreeMap, BinaryHeap};
 
+use gridvm_simcore::metrics::Counter;
 use gridvm_simcore::time::{SimDuration, SimTime};
+
+/// Route queries answered straight from the topology-versioned pair
+/// cache (no shortest-path work at all).
+static ROUTE_CACHE_HITS: Counter = Counter::new("vnet.route_cache_hits");
+
+/// Route queries that had to (re)build their answer — at worst one
+/// Dijkstra per (source, topology-version), shared across every
+/// destination via the per-source shortest-path tree.
+static ROUTE_CACHE_MISSES: Counter = Counter::new("vnet.route_cache_misses");
 
 /// Identifies an overlay node (a VM or a user site).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -90,7 +100,26 @@ pub struct Overlay {
     /// Directed measured latency. Probes set both directions.
     links: BTreeMap<(NodeId, NodeId), SimDuration>,
     reroutes: u64,
-    last_routes: BTreeMap<(NodeId, NodeId), Vec<NodeId>>,
+    /// Bumped by every topology mutation (node/link add, remove,
+    /// measurement change, outage); cached answers are valid only
+    /// while their recorded version matches.
+    topo_version: u64,
+    /// Per-source shortest-path tree, computed by one full Dijkstra
+    /// and shared across every destination until the topology
+    /// changes.
+    spt_cache: BTreeMap<NodeId, SptEntry>,
+    /// Per-pair routes (also the previous-answer memory behind the
+    /// `reroutes` self-optimization metric, which compares across
+    /// versions).
+    route_cache: BTreeMap<(NodeId, NodeId), (u64, Route)>,
+}
+
+/// A cached single-source shortest-path tree.
+#[derive(Clone, Debug, Default)]
+struct SptEntry {
+    version: u64,
+    dist: BTreeMap<NodeId, SimDuration>,
+    prev: BTreeMap<NodeId, NodeId>,
 }
 
 impl Overlay {
@@ -104,6 +133,7 @@ impl Overlay {
         let id = NodeId(self.next_id);
         self.next_id += 1;
         self.nodes.push(id);
+        self.topo_version += 1;
         id
     }
 
@@ -112,8 +142,10 @@ impl Overlay {
     pub fn remove_node(&mut self, node: NodeId) {
         self.nodes.retain(|n| *n != node);
         self.links.retain(|(a, b), _| *a != node && *b != node);
-        self.last_routes
+        self.spt_cache.remove(&node);
+        self.route_cache
             .retain(|(a, b), _| *a != node && *b != node);
+        self.topo_version += 1;
     }
 
     /// The current node set.
@@ -126,12 +158,14 @@ impl Overlay {
     pub fn update_measurement(&mut self, a: NodeId, b: NodeId, latency: SimDuration) {
         self.links.insert((a, b), latency);
         self.links.insert((b, a), latency);
+        self.topo_version += 1;
     }
 
     /// Marks the path between two nodes unusable (probe timed out).
     pub fn mark_down(&mut self, a: NodeId, b: NodeId) {
         self.links.remove(&(a, b));
         self.links.remove(&(b, a));
+        self.topo_version += 1;
     }
 
     /// The measured direct latency, if a usable measurement exists.
@@ -144,24 +178,108 @@ impl Overlay {
         self.reroutes
     }
 
-    /// Computes the minimum-latency route from `from` to `to`
-    /// (Dijkstra over the measurement mesh).
+    /// The current topology version. Bumped by every mutation; two
+    /// equal versions guarantee identical routing answers.
+    pub fn topology_version(&self) -> u64 {
+        self.topo_version
+    }
+
+    /// Computes the minimum-latency route from `from` to `to` over
+    /// the measurement mesh.
+    ///
+    /// Answers are cached per `(source, destination)` and per-source
+    /// shortest-path trees are cached per topology version, so
+    /// Dijkstra runs at most once per (source, topology-version) —
+    /// not per packet. Per-query cache behavior is surfaced through
+    /// the `vnet.route_cache_hits` / `vnet.route_cache_misses`
+    /// metrics. Hot paths that do not need an owned [`Route`] should
+    /// prefer [`route_ref`](Overlay::route_ref).
     ///
     /// # Errors
     ///
     /// Unknown nodes or no path.
     pub fn route(&mut self, from: NodeId, to: NodeId) -> Result<Route, OverlayError> {
+        self.route_ref(from, to).cloned()
+    }
+
+    /// Like [`route`](Overlay::route) but borrows the cached route
+    /// instead of cloning its hop vector — the per-packet hot path.
+    ///
+    /// # Errors
+    ///
+    /// Unknown nodes or no path.
+    pub fn route_ref(&mut self, from: NodeId, to: NodeId) -> Result<&Route, OverlayError> {
+        self.ensure_route(from, to)?;
+        Ok(&self
+            .route_cache
+            .get(&(from, to))
+            .expect("ensure_route populated the pair cache")
+            .1)
+    }
+
+    /// Validates the pair cache for `(from, to)`, recomputing from the
+    /// (possibly also recomputed) per-source shortest-path tree when
+    /// the topology has moved on.
+    fn ensure_route(&mut self, from: NodeId, to: NodeId) -> Result<(), OverlayError> {
         if !self.nodes.contains(&from) {
             return Err(OverlayError::UnknownNode(from));
         }
         if !self.nodes.contains(&to) {
             return Err(OverlayError::UnknownNode(to));
         }
-        if from == to {
-            return Ok(Route {
+        let key = (from, to);
+        if self
+            .route_cache
+            .get(&key)
+            .is_some_and(|(v, _)| *v == self.topo_version)
+        {
+            ROUTE_CACHE_HITS.add(1);
+            return Ok(());
+        }
+        ROUTE_CACHE_MISSES.add(1);
+        let route = if from == to {
+            Route {
                 hops: vec![from],
                 latency: SimDuration::ZERO,
-            });
+            }
+        } else {
+            self.ensure_spt(from);
+            let spt = &self.spt_cache[&from];
+            let latency = *spt
+                .dist
+                .get(&to)
+                .ok_or(OverlayError::Unreachable { from, to })?;
+            let mut hops = vec![to];
+            let mut cur = to;
+            while cur != from {
+                cur = spt.prev[&cur];
+                hops.push(cur);
+            }
+            hops.reverse();
+            Route { hops, latency }
+        };
+        // Track route changes for the self-optimization metric: the
+        // stale pair entry is the previous answer.
+        if let Some((_, old)) = self.route_cache.get(&key) {
+            if old.hops != route.hops {
+                self.reroutes += 1;
+            }
+        }
+        self.route_cache.insert(key, (self.topo_version, route));
+        Ok(())
+    }
+
+    /// Ensures `spt_cache[from]` matches the current topology: one
+    /// full Dijkstra (no early exit — the tree serves every
+    /// destination) with neighbor iteration restricted to `from`'s
+    /// outgoing links via a range scan, not a scan of all links.
+    fn ensure_spt(&mut self, from: NodeId) {
+        if self
+            .spt_cache
+            .get(&from)
+            .is_some_and(|e| e.version == self.topo_version)
+        {
+            return;
         }
         let mut dist: BTreeMap<NodeId, SimDuration> = BTreeMap::new();
         let mut prev: BTreeMap<NodeId, NodeId> = BTreeMap::new();
@@ -172,13 +290,8 @@ impl Overlay {
             if dist.get(&u).is_some_and(|best| *best < d) {
                 continue;
             }
-            if u == to {
-                break;
-            }
-            for ((a, b), w) in &self.links {
-                if *a != u {
-                    continue;
-                }
+            let out = (u, NodeId(u32::MIN))..=(u, NodeId(u32::MAX));
+            for ((_, b), w) in self.links.range(out) {
                 let nd = d + *w;
                 if dist.get(b).is_none_or(|best| nd < *best) {
                     dist.insert(*b, nd);
@@ -187,25 +300,14 @@ impl Overlay {
                 }
             }
         }
-        let latency = *dist
-            .get(&to)
-            .ok_or(OverlayError::Unreachable { from, to })?;
-        let mut hops = vec![to];
-        let mut cur = to;
-        while cur != from {
-            cur = prev[&cur];
-            hops.push(cur);
-        }
-        hops.reverse();
-        // Track route changes for the self-optimization metric.
-        let key = (from, to);
-        if let Some(old) = self.last_routes.get(&key) {
-            if *old != hops {
-                self.reroutes += 1;
-            }
-        }
-        self.last_routes.insert(key, hops.clone());
-        Ok(Route { hops, latency })
+        self.spt_cache.insert(
+            from,
+            SptEntry {
+                version: self.topo_version,
+                dist,
+                prev,
+            },
+        );
     }
 
     /// Full-mesh probe convenience: installs `latency(a, b)` for all
@@ -329,6 +431,73 @@ mod tests {
         }
         let r = ov.route(nodes[0], nodes[4]).unwrap();
         assert!(!r.hops.is_empty());
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        gridvm_simcore::metrics::reset();
+        let (mut ov, a, b, _) = triangle();
+        let r1 = ov.route(a, b).unwrap();
+        let r2 = ov.route(a, b).unwrap();
+        assert_eq!(r1, r2);
+        let snap = gridvm_simcore::metrics::take();
+        assert_eq!(snap.counter("vnet.route_cache_misses"), 1);
+        assert_eq!(snap.counter("vnet.route_cache_hits"), 1);
+    }
+
+    #[test]
+    fn topology_change_invalidates_cache() {
+        gridvm_simcore::metrics::reset();
+        let (mut ov, a, b, c) = triangle();
+        let v0 = ov.topology_version();
+        let _ = ov.route(a, b).unwrap();
+        ov.mark_down(a, c);
+        assert!(ov.topology_version() > v0, "mutation bumps the version");
+        let r = ov.route(a, b).unwrap();
+        assert_eq!(r.hops, vec![a, b], "recomputed around the outage");
+        let snap = gridvm_simcore::metrics::take();
+        assert_eq!(snap.counter("vnet.route_cache_misses"), 2);
+        assert_eq!(snap.counter("vnet.route_cache_hits"), 0);
+    }
+
+    #[test]
+    fn spt_is_shared_across_destinations() {
+        gridvm_simcore::metrics::reset();
+        let (mut ov, a, b, c) = triangle();
+        // Two destinations from the same source at the same version:
+        // two pair-cache misses, but one shortest-path tree (asserted
+        // indirectly: both answers then hit).
+        let _ = ov.route(a, b).unwrap();
+        let _ = ov.route(a, c).unwrap();
+        let _ = ov.route(a, b).unwrap();
+        let _ = ov.route(a, c).unwrap();
+        let snap = gridvm_simcore::metrics::take();
+        assert_eq!(snap.counter("vnet.route_cache_misses"), 2);
+        assert_eq!(snap.counter("vnet.route_cache_hits"), 2);
+    }
+
+    #[test]
+    fn route_ref_matches_route() {
+        let (mut ov, a, b, c) = triangle();
+        let owned = ov.route(a, b).unwrap();
+        let borrowed = ov.route_ref(a, b).unwrap();
+        assert_eq!(*borrowed, owned);
+        assert_eq!(borrowed.hops, vec![a, c, b]);
+        assert!(matches!(
+            ov.route_ref(a, NodeId(99)),
+            Err(OverlayError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn cached_routes_survive_node_removal_of_third_parties() {
+        let (mut ov, a, b, c) = triangle();
+        ov.update_measurement(a, b, ms(5));
+        let _ = ov.route(a, b).unwrap();
+        ov.remove_node(c);
+        let r = ov.route(a, b).unwrap();
+        assert_eq!(r.hops, vec![a, b]);
+        assert_eq!(r.latency, ms(5));
     }
 
     #[test]
