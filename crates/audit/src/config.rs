@@ -16,6 +16,16 @@
 //! `path` is a workspace-relative prefix, and `reason` is mandatory —
 //! an allowlist entry without a written justification defeats the
 //! point of having one.
+//!
+//! A `[hot_paths]` section lists the files whose per-entity lookups
+//! are measured hot paths; the `hot-btree-lookup` rule flags ordered
+//! containers only in these files:
+//!
+//! ```toml
+//! [hot_paths]
+//! path = "crates/vnet/src/overlay.rs"
+//! path = "crates/sched/src/wfq.rs"
+//! ```
 
 use crate::rules::{Finding, RULES};
 
@@ -37,6 +47,9 @@ pub struct AllowEntry {
 pub struct Allowlist {
     /// All entries, in file order.
     pub entries: Vec<AllowEntry>,
+    /// Workspace-relative path prefixes from `[hot_paths]`: files
+    /// whose state the `hot-btree-lookup` rule polices.
+    pub hot_paths: Vec<String>,
 }
 
 /// A fatal problem in the allowlist file itself.
@@ -60,7 +73,9 @@ impl Allowlist {
     /// a suppression must not silently re-enable (or widen) it.
     pub fn parse(text: &str) -> Result<Self, ConfigError> {
         let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut hot_paths: Vec<String> = Vec::new();
         let mut current: Option<AllowEntry> = None;
+        let mut in_hot_paths = false;
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx as u32 + 1;
             let line = strip_comment(raw).trim();
@@ -72,6 +87,7 @@ impl Allowlist {
                     validate(&done)?;
                     entries.push(done);
                 }
+                in_hot_paths = false;
                 current = Some(AllowEntry {
                     rule: String::new(),
                     path: String::new(),
@@ -80,12 +96,38 @@ impl Allowlist {
                 });
                 continue;
             }
+            if line == "[hot_paths]" {
+                if let Some(done) = current.take() {
+                    validate(&done)?;
+                    entries.push(done);
+                }
+                in_hot_paths = true;
+                continue;
+            }
             let Some((key, value)) = parse_kv(line) else {
                 return Err(ConfigError {
                     line: lineno,
-                    message: format!("expected `[[allow]]` or `key = \"value\"`, got `{line}`"),
+                    message: format!(
+                        "expected `[[allow]]`, `[hot_paths]` or `key = \"value\"`, got `{line}`"
+                    ),
                 });
             };
+            if in_hot_paths {
+                if key != "path" {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown key `{key}` in [hot_paths] (expected path)"),
+                    });
+                }
+                if value.is_empty() {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: "[hot_paths] entry has an empty path".to_owned(),
+                    });
+                }
+                hot_paths.push(value);
+                continue;
+            }
             let Some(entry) = current.as_mut() else {
                 return Err(ConfigError {
                     line: lineno,
@@ -108,7 +150,13 @@ impl Allowlist {
             validate(&done)?;
             entries.push(done);
         }
-        Ok(Allowlist { entries })
+        Ok(Allowlist { entries, hot_paths })
+    }
+
+    /// True when `path` is covered by a `[hot_paths]` prefix — i.e.
+    /// the `hot-btree-lookup` rule applies to it.
+    pub fn is_hot(&self, path: &str) -> bool {
+        self.hot_paths.iter().any(|p| path.starts_with(p.as_str()))
     }
 
     /// Index of the first entry suppressing `finding` at `path`, if
@@ -214,6 +262,37 @@ reason = \"fixtures exist to trip the rules\"\n";
             list.matches("crates/audit/tests/fixtures/bad.rs", &finding("static-mut")),
             Some(1)
         );
+    }
+
+    #[test]
+    fn hot_paths_section_parses_and_matches_by_prefix() {
+        let text = "\
+[hot_paths]\n\
+path = \"crates/vnet/src/overlay.rs\"\n\
+path = \"crates/sched/src\"\n\
+\n\
+[[allow]]\n\
+rule = \"hot-btree-lookup\"\n\
+path = \"crates/sched/src/edf.rs\"\n\
+reason = \"deadline order is semantic\"\n";
+        let list = Allowlist::parse(text).expect("parses");
+        assert_eq!(list.hot_paths.len(), 2);
+        assert!(list.is_hot("crates/vnet/src/overlay.rs"));
+        assert!(list.is_hot("crates/sched/src/wfq.rs"));
+        assert!(!list.is_hot("crates/vnet/src/dhcp.rs"));
+        assert_eq!(
+            list.entries.len(),
+            1,
+            "allow table after [hot_paths] parses"
+        );
+    }
+
+    #[test]
+    fn hot_paths_rejects_foreign_keys_and_empty_paths() {
+        let err = Allowlist::parse("[hot_paths]\nrule = \"x\"\n").unwrap_err();
+        assert!(err.message.contains("unknown key"), "{err}");
+        let err = Allowlist::parse("[hot_paths]\npath = \"\"\n").unwrap_err();
+        assert!(err.message.contains("empty path"), "{err}");
     }
 
     #[test]

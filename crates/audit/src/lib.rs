@@ -68,13 +68,15 @@ pub fn scan_source(
     treat_as: Option<&str>,
     allow: &Allowlist,
 ) -> FileReport {
-    let ctx = match treat_as {
+    let mut ctx = match treat_as {
         Some(krate) => FileContext {
             crate_name: krate.to_owned(),
             kind: rules::SourceKind::Lib,
+            hot: false,
         },
         None => FileContext::from_path(rel_path),
     };
+    ctx.hot = allow.is_hot(rel_path);
     let mut findings = Vec::new();
     let mut suppressed = Vec::new();
     for f in scan(src, &ctx) {

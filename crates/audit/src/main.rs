@@ -21,6 +21,7 @@ struct Options {
     root: Option<PathBuf>,
     file: Option<PathBuf>,
     treat_as: Option<String>,
+    hot: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -30,6 +31,7 @@ fn parse_args() -> Result<Options, String> {
         root: None,
         file: None,
         treat_as: None,
+        hot: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,16 +50,18 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--treat-as needs a crate name")?;
                 opts.treat_as = Some(v);
             }
+            "--hot" => opts.hot = true,
             "--help" | "-h" => {
                 println!(
                     "gridvm-audit: workspace determinism linter\n\n\
                      USAGE: gridvm-audit [--deny] [--list-rules] [--root DIR]\n\
-                            [--file PATH [--treat-as CRATE]]\n\n\
+                            [--file PATH [--treat-as CRATE] [--hot]]\n\n\
                      --deny        exit non-zero on any non-allowlisted finding (CI mode)\n\
                      --list-rules  print the rule catalogue and exit\n\
                      --root DIR    workspace root (default: auto-detect from cwd)\n\
                      --file PATH   scan a single file instead of the workspace\n\
-                     --treat-as C  with --file: classify the file as library code of crate C"
+                     --treat-as C  with --file: classify the file as library code of crate C\n\
+                     --hot         with --file: scan as if listed under [hot_paths]"
                 );
                 std::process::exit(0);
             }
@@ -109,7 +113,7 @@ fn main() -> ExitCode {
     };
 
     if let Some(file) = &opts.file {
-        return scan_single_file(file, opts.treat_as.as_deref(), &allow, opts.deny);
+        return scan_single_file(file, opts.treat_as.as_deref(), opts.hot, &allow, opts.deny);
     }
 
     let report = match scan_workspace(&root, &allow) {
@@ -157,6 +161,7 @@ fn main() -> ExitCode {
 fn scan_single_file(
     file: &Path,
     treat_as: Option<&str>,
+    hot: bool,
     allow: &Allowlist,
     deny: bool,
 ) -> ExitCode {
@@ -168,7 +173,13 @@ fn scan_single_file(
         }
     };
     let rel = file.to_string_lossy().replace('\\', "/");
-    let report = scan_source(&rel, &src, treat_as, allow);
+    let mut allow = allow.clone();
+    if hot {
+        // `--hot` marks the file as a hot path without editing
+        // audit.toml — how CI checks the rule still has teeth.
+        allow.hot_paths.push(rel.clone());
+    }
+    let report = scan_source(&rel, &src, treat_as, &allow);
     for f in &report.findings {
         println!(
             "{}:{}:{}: [{}] {}",

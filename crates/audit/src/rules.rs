@@ -15,6 +15,7 @@
 //! | `static-mut`      | `static mut`: cross-replication shared mutable state |
 //! | `float-accum`     | float reduction (`sum`/`fold`/`+=`) over an unordered hash iteration: result depends on visit order |
 //! | `unwrap-lib`      | `.unwrap()` in library code: panics without an invariant message |
+//! | `hot-btree-lookup`| `BTreeMap`/`BTreeSet` in a file listed under `[hot_paths]` in `audit.toml`: O(log n) lookups on a measured hot path |
 
 use crate::lexer::{tokenize, Token, TokenKind};
 
@@ -60,6 +61,10 @@ pub struct FileContext {
     pub crate_name: String,
     /// What kind of target the file belongs to.
     pub kind: SourceKind,
+    /// True when the file is listed under `[hot_paths]` in
+    /// `audit.toml`: its per-entity lookups are measured hot paths,
+    /// so ordered containers need an audited reason.
+    pub hot: bool,
 }
 
 impl FileContext {
@@ -83,7 +88,11 @@ impl FileContext {
         } else {
             SourceKind::Lib
         };
-        FileContext { crate_name, kind }
+        FileContext {
+            crate_name,
+            kind,
+            hot: false,
+        }
     }
 
     fn is_sim_state(&self) -> bool {
@@ -129,6 +138,12 @@ pub const RULES: &[RuleInfo] = &[
         name: "hash-container",
         summary: "HashMap/HashSet state in a sim-state crate: iteration order is a latent \
                   nondeterminism hazard; use BTreeMap/BTreeSet or an index arena",
+    },
+    RuleInfo {
+        name: "hot-btree-lookup",
+        summary: "BTreeMap/BTreeSet in a file listed under [hot_paths] in audit.toml: \
+                  O(log n) lookups on a measured hot path; use slot::SlotMap/DenseMap, or \
+                  allowlist with the reason order is semantic there",
     },
     RuleInfo {
         name: "static-mut",
@@ -183,6 +198,19 @@ pub fn scan(src: &str, ctx: &FileContext) -> Vec<Finding> {
                             "{name} in sim-state crate `{}`: iteration order is \
                              hasher-dependent; use BTreeMap/BTreeSet or an index arena",
                             ctx.crate_name
+                        ),
+                    });
+                }
+                "BTreeMap" | "BTreeSet" if ctx.hot => {
+                    out.push(Finding {
+                        rule: "hot-btree-lookup",
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "{name} in [hot_paths] file: per-entity lookups here are \
+                             measured hot paths and must be O(1); migrate to \
+                             slot::SlotMap/DenseMap or record an audited exception \
+                             where order is semantic"
                         ),
                     });
                 }
@@ -510,6 +538,7 @@ mod tests {
         FileContext {
             crate_name: krate.to_owned(),
             kind: SourceKind::Lib,
+            hot: false,
         }
     }
 
@@ -525,8 +554,26 @@ mod tests {
         let test_ctx = FileContext {
             crate_name: "sched".into(),
             kind: SourceKind::Test,
+            hot: false,
         };
         assert!(rules_fired(src, &test_ctx).is_empty());
+    }
+
+    #[test]
+    fn hot_btree_lookup_fires_only_when_hot() {
+        let src = "use std::collections::BTreeMap;\nstruct S { t: BTreeSet<u32> }\n";
+        assert!(rules_fired(src, &lib_ctx("vnet")).is_empty(), "cold file");
+        let hot_ctx = FileContext {
+            hot: true,
+            ..lib_ctx("vnet")
+        };
+        assert_eq!(
+            rules_fired(src, &hot_ctx),
+            vec!["hot-btree-lookup", "hot-btree-lookup"]
+        );
+        // #[cfg(test)] regions stay exempt even in hot files.
+        let test_src = "#[cfg(test)]\nmod tests {\n    use std::collections::BTreeMap;\n}\n";
+        assert!(rules_fired(test_src, &hot_ctx).is_empty());
     }
 
     #[test]
@@ -560,6 +607,7 @@ fn f() { let r = rand::thread_rng(); let t = Instant::now(); }\n";
         let bin_ctx = FileContext {
             crate_name: "bench".into(),
             kind: SourceKind::Bin,
+            hot: false,
         };
         assert!(rules_fired(src, &bin_ctx).is_empty());
         // unwrap_or_else is not unwrap

@@ -1,0 +1,20 @@
+//! Trips `hot-btree-lookup`: ordered-container state declared in a
+//! file listed under `[hot_paths]` in audit.toml.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct RouteTable {
+    routes: BTreeMap<u32, u32>,
+    dirty: BTreeSet<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only counts stay ordered for readable assertions; the rule
+    // must not fire here even in a hot file.
+    use std::collections::BTreeMap;
+
+    fn counts() -> BTreeMap<u32, u32> {
+        BTreeMap::new()
+    }
+}

@@ -55,6 +55,50 @@ fn good_fixture_is_clean() {
 }
 
 #[test]
+fn bad_hot_btree_fixture_fires_only_when_listed_hot() {
+    // Without a [hot_paths] listing the fixture is silent: ordered
+    // containers are fine on cold paths.
+    assert_eq!(diagnostics("bad_hot_btree.rs", "vnet"), vec![]);
+
+    // Listed under [hot_paths], every declaration outside #[cfg(test)]
+    // is flagged.
+    let (rel, src) = fixture("bad_hot_btree.rs");
+    let allow =
+        Allowlist::parse("[hot_paths]\npath = \"crates/audit/tests/fixtures/bad_hot_btree.rs\"\n")
+            .expect("parses");
+    let report = scan_source(&rel, &src, Some("vnet"), &allow);
+    let diags: Vec<_> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.line, f.col))
+        .collect();
+    assert_eq!(
+        diags,
+        vec![
+            ("hot-btree-lookup", 4, 24),
+            ("hot-btree-lookup", 4, 34),
+            ("hot-btree-lookup", 7, 13),
+            ("hot-btree-lookup", 8, 12),
+        ]
+    );
+
+    // An allowlist entry with a written reason suppresses it, like
+    // any other rule.
+    let allow = Allowlist::parse(
+        "[hot_paths]\n\
+         path = \"crates/audit/tests/fixtures/bad_hot_btree.rs\"\n\
+         [[allow]]\n\
+         rule = \"hot-btree-lookup\"\n\
+         path = \"crates/audit/tests/fixtures\"\n\
+         reason = \"fixture exercises suppression\"\n",
+    )
+    .expect("parses");
+    let report = scan_source(&rel, &src, Some("vnet"), &allow);
+    assert!(report.findings.is_empty());
+    assert_eq!(report.suppressed.len(), 4);
+}
+
+#[test]
 fn hash_rules_require_sim_state_crate_context() {
     // Outside the sim-state crate list the hash-container rule does
     // not apply; float-accum still does (order-sensitive arithmetic is

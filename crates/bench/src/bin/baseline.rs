@@ -26,7 +26,10 @@ use gridvm_simcore::engine::Engine;
 use gridvm_simcore::event::EventQueue;
 use gridvm_simcore::lru::LruSet;
 use gridvm_simcore::metrics::Counter;
+use gridvm_simcore::slot::SlotMap;
 use gridvm_simcore::time::{SimDuration, SimTime};
+use gridvm_storage::block::BlockAddr;
+use gridvm_storage::cache::BufferCache;
 use gridvm_vfs::fs::FileHandle;
 use gridvm_vfs::protocol::NFS_BLOCK;
 use gridvm_vfs::proxy::{ProxyConfig, VfsProxy};
@@ -35,13 +38,15 @@ use gridvm_vnet::overlay::{NodeId, Overlay};
 struct Baseline;
 
 /// Scenario labels; `run_sample` dispatches on index.
-const SCENARIOS: [&str; 6] = [
+const SCENARIOS: [&str; 8] = [
     "engine: chained events",
     "queue: push+pop random times",
     "queue: push/cancel/drain mix",
     "lru: touch-or-insert churn",
     "proxy: block churn",
     "overlay: routed packet churn",
+    "cache: buffer-cache insert churn",
+    "slot: insert/remove/get churn",
 ];
 
 /// Events/operations per sample at full size (quick mode divides by
@@ -189,6 +194,46 @@ impl Experiment for Baseline {
                     latency += r.latency;
                 }
                 assert!(latency > SimDuration::ZERO);
+                (n, started.elapsed())
+            }
+            6 => {
+                // The buffer cache under VM-disk block churn:
+                // touch-or-insert over a working set twice the
+                // capacity, the shape `ablation_buffer_cache` sweeps.
+                let addrs: Vec<BlockAddr> =
+                    (0..n).map(|_| BlockAddr(rng.next_u64() % 8192)).collect();
+                let started = Instant::now();
+                let mut cache = BufferCache::new(4096);
+                for a in &addrs {
+                    if !cache.touch(*a) {
+                        cache.insert(*a);
+                    }
+                }
+                (n, started.elapsed())
+            }
+            7 => {
+                // The slot layer itself: insert/remove/get churn over
+                // a live set of ~1k entries — the per-entity state
+                // shape under vnet/vfs/sched/storage hot paths.
+                let ops: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+                let started = Instant::now();
+                let mut map: SlotMap<(), u64> = SlotMap::new();
+                let mut live: Vec<gridvm_simcore::slot::Handle<()>> = Vec::new();
+                let mut sum = 0u64;
+                for op in &ops {
+                    match (op % 4, live.is_empty()) {
+                        (0, _) | (_, true) => live.push(map.insert(*op)),
+                        (1, false) => {
+                            let h = live.swap_remove((op >> 2) as usize % live.len());
+                            sum ^= map.remove(h).expect("live handle");
+                        }
+                        (_, false) => {
+                            let h = live[(op >> 2) as usize % live.len()];
+                            sum ^= *map.get(h).expect("live handle");
+                        }
+                    }
+                }
+                assert!(sum != 1, "keep the loop observable");
                 (n, started.elapsed())
             }
             other => unreachable!("unknown scenario {other}"),

@@ -7,16 +7,24 @@
 //! ```text
 //! cargo run --release -p gridvm-bench --bin bench_gate -- \
 //!     --committed BENCH_simcore.json --fresh /tmp/fresh.json \
-//!     [--scenario "engine: chained events"] [--max-drop 0.30]
+//!     --gate "engine: chained events" \
+//!     --gate "overlay: routed packet churn=0.40" \
+//!     [--max-drop 0.30]
 //! ```
 //!
-//! The gate fails (exit 1) when the fresh `ops_per_sec` mean for the
-//! gated scenario drops more than `--max-drop` (default 30%) below
-//! the committed mean. Only drops fail: wall-clock throughput is
-//! machine-dependent, so the committed number is a *floor* with slack,
-//! not a target. Both files use the `gridvm-bench/v1` schema emitted
-//! by the harness; the values are extracted with a purpose-built
-//! string scan (the workspace deliberately has no JSON dependency).
+//! Each `--gate` names one scenario, optionally with its own tolerated
+//! drop after `=` (labels contain `:`, so `=` is the separator);
+//! scenarios without one use `--max-drop` (default 30%). With no
+//! `--gate` flags the engine chained-event loop is gated alone, as
+//! before. The gate fails (exit 1) when any fresh `ops_per_sec` mean
+//! drops more than its threshold below the committed mean — every
+//! gated scenario is checked and reported before the verdict, so one
+//! run shows all regressions. Only drops fail: wall-clock throughput
+//! is machine-dependent, so the committed number is a *floor* with
+//! slack, not a target. Both files use the `gridvm-bench/v1` schema
+//! emitted by the harness; the values are extracted with a
+//! purpose-built string scan (the workspace deliberately has no JSON
+//! dependency).
 
 use std::process::ExitCode;
 
@@ -57,17 +65,47 @@ fn ops_per_sec_mean(json: &str, scenario: &str) -> Result<f64, String> {
         .map_err(|e| format!("unparseable mean {:?} for {scenario:?}: {e}", &tail[..end]))
 }
 
+/// One gated scenario: its label and, when given, a per-scenario
+/// tolerated drop overriding `--max-drop`.
+struct Gate {
+    scenario: String,
+    max_drop: Option<f64>,
+}
+
+/// Parses a `--gate` operand: `"label"` or `"label=drop"`. Labels
+/// contain `:`, so `=` is the threshold separator.
+fn parse_gate(spec: &str) -> Result<Gate, String> {
+    match spec.rsplit_once('=') {
+        None => Ok(Gate {
+            scenario: spec.to_owned(),
+            max_drop: None,
+        }),
+        Some((label, drop)) => {
+            let drop = drop
+                .parse::<f64>()
+                .map_err(|e| format!("--gate {spec:?}: bad drop: {e}"))?;
+            if !(0.0..1.0).contains(&drop) {
+                return Err(format!("--gate {spec:?}: drop must be in [0, 1)"));
+            }
+            Ok(Gate {
+                scenario: label.to_owned(),
+                max_drop: Some(drop),
+            })
+        }
+    }
+}
+
 struct Args {
     committed: String,
     fresh: String,
-    scenario: String,
+    gates: Vec<Gate>,
     max_drop: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut committed = None;
     let mut fresh = None;
-    let mut scenario = DEFAULT_SCENARIO.to_owned();
+    let mut gates = Vec::new();
     let mut max_drop = DEFAULT_MAX_DROP;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -75,7 +113,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--committed" => committed = Some(value("--committed")?),
             "--fresh" => fresh = Some(value("--fresh")?),
-            "--scenario" => scenario = value("--scenario")?,
+            "--gate" => gates.push(parse_gate(&value("--gate")?)?),
             "--max-drop" => {
                 max_drop = value("--max-drop")?
                     .parse::<f64>()
@@ -87,10 +125,16 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if gates.is_empty() {
+        gates.push(Gate {
+            scenario: DEFAULT_SCENARIO.to_owned(),
+            max_drop: None,
+        });
+    }
     Ok(Args {
         committed: committed.ok_or("--committed <file> is required")?,
         fresh: fresh.ok_or("--fresh <file> is required")?,
-        scenario,
+        gates,
         max_drop,
     })
 }
@@ -101,22 +145,30 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("reading {}: {e}", args.committed))?;
     let fresh =
         std::fs::read_to_string(&args.fresh).map_err(|e| format!("reading {}: {e}", args.fresh))?;
-    let want = ops_per_sec_mean(&committed, &args.scenario)?;
-    let got = ops_per_sec_mean(&fresh, &args.scenario)?;
-    let floor = want * (1.0 - args.max_drop);
-    println!(
-        "bench_gate: {:?} committed {want:.0} ops/sec, fresh {got:.0} ops/sec, floor {floor:.0} \
-         (max drop {:.0}%)",
-        args.scenario,
-        args.max_drop * 100.0
-    );
-    if got < floor {
-        return Err(format!(
-            "regression: fresh {got:.0} ops/sec is {:.1}% below the committed {want:.0}",
-            (1.0 - got / want) * 100.0
-        ));
+    let mut regressions = Vec::new();
+    for gate in &args.gates {
+        let drop = gate.max_drop.unwrap_or(args.max_drop);
+        let want = ops_per_sec_mean(&committed, &gate.scenario)?;
+        let got = ops_per_sec_mean(&fresh, &gate.scenario)?;
+        let floor = want * (1.0 - drop);
+        println!(
+            "bench_gate: {:?} committed {want:.0} ops/sec, fresh {got:.0} ops/sec, floor \
+             {floor:.0} (max drop {:.0}%)",
+            gate.scenario,
+            drop * 100.0
+        );
+        if got < floor {
+            regressions.push(format!(
+                "{:?}: fresh {got:.0} ops/sec is {:.1}% below the committed {want:.0}",
+                gate.scenario,
+                (1.0 - got / want) * 100.0
+            ));
+        }
     }
-    println!("bench_gate: OK");
+    if !regressions.is_empty() {
+        return Err(format!("regression: {}", regressions.join("; ")));
+    }
+    println!("bench_gate: OK ({} scenario(s) gated)", args.gates.len());
     Ok(())
 }
 
@@ -163,6 +215,27 @@ mod tests {
         let cut = &SAMPLE[..SAMPLE.find("ops_per_sec").unwrap()];
         let err = ops_per_sec_mean(cut, "engine: chained events").unwrap_err();
         assert!(err.contains("no ops_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn gate_spec_without_threshold_uses_global_drop() {
+        let g = parse_gate("overlay: routed packet churn").unwrap();
+        assert_eq!(g.scenario, "overlay: routed packet churn");
+        assert_eq!(g.max_drop, None);
+    }
+
+    #[test]
+    fn gate_spec_with_threshold_parses_both_parts() {
+        // Labels contain ':', so '=' separates the per-scenario drop.
+        let g = parse_gate("slot: insert/remove/get churn=0.45").unwrap();
+        assert_eq!(g.scenario, "slot: insert/remove/get churn");
+        assert_eq!(g.max_drop, Some(0.45));
+    }
+
+    #[test]
+    fn gate_spec_rejects_bad_thresholds() {
+        assert!(parse_gate("engine: chained events=1.5").is_err());
+        assert!(parse_gate("engine: chained events=nope").is_err());
     }
 
     #[test]

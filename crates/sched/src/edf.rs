@@ -10,9 +10,8 @@
 //! whatever capacity the reservations leave over, so the scheduler is
 //! work-conserving.
 
-use std::collections::BTreeMap;
-
 use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::slot::DenseMap;
 use gridvm_simcore::time::{SimDuration, SimTime};
 
 use crate::scheduler::{Reservation, Scheduler, TaskId, TaskParams};
@@ -39,8 +38,9 @@ struct RtEntry {
 /// ```
 #[derive(Debug, Default)]
 pub struct EdfScheduler {
-    reserved: BTreeMap<TaskId, RtEntry>,
-    best_effort: BTreeMap<TaskId, f64>, // round-robin credit
+    /// Keyed by `TaskId.0` — task ids are small and densely assigned.
+    reserved: DenseMap<RtEntry>,
+    best_effort: DenseMap<f64>, // round-robin credit
 }
 
 impl EdfScheduler {
@@ -51,7 +51,19 @@ impl EdfScheduler {
 
     /// Total utilization of admitted reservations, in CPUs.
     pub fn reserved_utilization(&self) -> f64 {
-        self.reserved.values().map(|e| e.res.utilization()).sum()
+        // Summed in ascending task-id order so the float total does
+        // not depend on registration history.
+        self.reserved
+            .sorted_keys()
+            .into_iter()
+            .map(|k| {
+                self.reserved
+                    .get(k)
+                    .expect("key just listed")
+                    .res
+                    .utilization()
+            })
+            .sum()
     }
 
     /// Checks whether a reservation set of this utilization fits on
@@ -63,11 +75,11 @@ impl EdfScheduler {
 
     /// Remaining budget of a reserved task (for tests).
     pub fn budget(&self, id: TaskId) -> Option<SimDuration> {
-        self.reserved.get(&id).map(|e| e.budget)
+        self.reserved.get(id.0).map(|e| e.budget)
     }
 
     fn replenish(&mut self, now: SimTime) {
-        for e in self.reserved.values_mut() {
+        for (_, e) in self.reserved.iter_mut() {
             while now >= e.deadline {
                 e.deadline += e.res.period;
                 e.budget = e.res.slice;
@@ -93,7 +105,7 @@ impl Scheduler for EdfScheduler {
         match params.reservation {
             Some(res) => {
                 self.reserved.insert(
-                    id,
+                    id.0,
                     RtEntry {
                         res,
                         budget: res.slice,
@@ -102,14 +114,14 @@ impl Scheduler for EdfScheduler {
                 );
             }
             None => {
-                self.best_effort.insert(id, 0.0);
+                self.best_effort.insert(id.0, 0.0);
             }
         }
     }
 
     fn remove_task(&mut self, id: TaskId) {
-        self.reserved.remove(&id);
-        self.best_effort.remove(&id);
+        self.reserved.remove(id.0);
+        self.best_effort.remove(id.0);
     }
 
     fn select(
@@ -128,7 +140,7 @@ impl Scheduler for EdfScheduler {
         let mut rt: Vec<(SimTime, TaskId)> = runnable
             .iter()
             .filter_map(|id| {
-                self.reserved.get(id).and_then(|e| {
+                self.reserved.get(id.0).and_then(|e| {
                     if e.budget > SimDuration::ZERO {
                         Some((e.deadline, *id))
                     } else {
@@ -145,18 +157,19 @@ impl Scheduler for EdfScheduler {
         if picked.len() < cores {
             let mut be: Vec<TaskId> = runnable
                 .iter()
-                .filter(|id| self.best_effort.contains_key(id) && !picked.contains(id))
+                .filter(|id| self.best_effort.contains_key(id.0) && !picked.contains(id))
                 .copied()
                 .collect();
             let q = quantum.as_secs_f64();
             for id in &be {
-                if let Some(c) = self.best_effort.get_mut(id) {
+                if let Some(c) = self.best_effort.get_mut(id.0) {
                     *c += q;
                 }
             }
+            let credit = |id: TaskId| *self.best_effort.get(id.0).expect("filtered above");
             be.sort_by(|a, b| {
-                let ca = self.best_effort[a];
-                let cb = self.best_effort[b];
+                let ca = credit(*a);
+                let cb = credit(*b);
                 cb.partial_cmp(&ca)
                     .expect("credits are finite")
                     .then_with(|| a.cmp(b))
@@ -182,9 +195,9 @@ impl Scheduler for EdfScheduler {
     }
 
     fn charge(&mut self, id: TaskId, used: SimDuration) {
-        if let Some(e) = self.reserved.get_mut(&id) {
+        if let Some(e) = self.reserved.get_mut(id.0) {
             e.budget = e.budget.saturating_sub(used);
-        } else if let Some(c) = self.best_effort.get_mut(&id) {
+        } else if let Some(c) = self.best_effort.get_mut(id.0) {
             *c -= used.as_secs_f64();
         }
     }
@@ -197,6 +210,7 @@ impl Scheduler for EdfScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
     fn ms(v: u64) -> SimDuration {
         SimDuration::from_millis(v)

@@ -6,9 +6,8 @@
 //! lottery per core, drawing without replacement so a multicore host
 //! never double-schedules a task.
 
-use std::collections::BTreeMap;
-
 use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::slot::DenseMap;
 use gridvm_simcore::time::{SimDuration, SimTime};
 
 use crate::scheduler::{Scheduler, TaskId, TaskParams};
@@ -30,8 +29,9 @@ use crate::scheduler::{Scheduler, TaskId, TaskParams};
 /// ```
 #[derive(Debug, Default)]
 pub struct LotteryScheduler {
-    tickets: BTreeMap<TaskId, u32>,
-    quanta_granted: BTreeMap<TaskId, u64>,
+    /// Keyed by `TaskId.0` — task ids are small and densely assigned.
+    tickets: DenseMap<u32>,
+    quanta_granted: DenseMap<u64>,
 }
 
 impl LotteryScheduler {
@@ -42,19 +42,19 @@ impl LotteryScheduler {
 
     /// Total quanta granted to `id` so far (for fairness assertions).
     pub fn quanta_granted(&self, id: TaskId) -> u64 {
-        self.quanta_granted.get(&id).copied().unwrap_or(0)
+        self.quanta_granted.get(id.0).copied().unwrap_or(0)
     }
 }
 
 impl Scheduler for LotteryScheduler {
     fn add_task(&mut self, id: TaskId, params: TaskParams) {
         assert!(params.weight > 0, "zero-ticket task");
-        self.tickets.insert(id, params.weight);
+        self.tickets.insert(id.0, params.weight);
     }
 
     fn remove_task(&mut self, id: TaskId) {
-        self.tickets.remove(&id);
-        self.quanta_granted.remove(&id);
+        self.tickets.remove(id.0);
+        self.quanta_granted.remove(id.0);
     }
 
     fn select(
@@ -73,7 +73,7 @@ impl Scheduler for LotteryScheduler {
             .map(|id| {
                 let t = *self
                     .tickets
-                    .get(id)
+                    .get(id.0)
                     .unwrap_or_else(|| panic!("{id} not registered"));
                 (*id, t)
             })
@@ -94,7 +94,12 @@ impl Scheduler for LotteryScheduler {
                 draw -= u64::from(*t);
             }
             let (winner, _) = pool.swap_remove(winner_idx);
-            *self.quanta_granted.entry(winner).or_default() += 1;
+            match self.quanta_granted.get_mut(winner.0) {
+                Some(n) => *n += 1,
+                None => {
+                    self.quanta_granted.insert(winner.0, 1);
+                }
+            }
             winners.push(winner);
         }
         winners

@@ -8,9 +8,8 @@
 //! probabilistic convergence — the property the ablation bench
 //! contrasts.
 
-use std::collections::BTreeMap;
-
 use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::slot::DenseMap;
 use gridvm_simcore::time::{SimDuration, SimTime};
 
 use crate::scheduler::{Scheduler, TaskId, TaskParams};
@@ -41,7 +40,8 @@ struct Entry {
 /// ```
 #[derive(Debug, Default)]
 pub struct StrideScheduler {
-    tasks: BTreeMap<TaskId, Entry>,
+    /// Keyed by `TaskId.0` — task ids are small and densely assigned.
+    tasks: DenseMap<Entry>,
     last_quantum: SimDuration,
 }
 
@@ -53,7 +53,7 @@ impl StrideScheduler {
 
     /// The current pass value of a task (for tests/inspection).
     pub fn pass(&self, id: TaskId) -> Option<f64> {
-        self.tasks.get(&id).map(|e| e.pass)
+        self.tasks.get(id.0).map(|e| e.pass)
     }
 }
 
@@ -64,12 +64,12 @@ impl Scheduler for StrideScheduler {
         // monopolize nor starve.
         let min_pass = self
             .tasks
-            .values()
-            .map(|e| e.pass)
+            .iter()
+            .map(|(_, e)| e.pass)
             .fold(f64::INFINITY, f64::min);
         let pass = if min_pass.is_finite() { min_pass } else { 0.0 };
         self.tasks.insert(
-            id,
+            id.0,
             Entry {
                 stride: STRIDE1 / f64::from(params.weight),
                 pass,
@@ -78,7 +78,7 @@ impl Scheduler for StrideScheduler {
     }
 
     fn remove_task(&mut self, id: TaskId) {
-        self.tasks.remove(&id);
+        self.tasks.remove(id.0);
     }
 
     fn select(
@@ -93,10 +93,16 @@ impl Scheduler for StrideScheduler {
             return Vec::new();
         }
         self.last_quantum = quantum;
+        let pass = |id: TaskId| {
+            self.tasks
+                .get(id.0)
+                .unwrap_or_else(|| panic!("{id} not registered"))
+                .pass
+        };
         let mut order: Vec<TaskId> = runnable.to_vec();
         order.sort_by(|a, b| {
-            let pa = self.tasks[a].pass;
-            let pb = self.tasks[b].pass;
+            let pa = pass(*a);
+            let pb = pass(*b);
             pa.partial_cmp(&pb)
                 .expect("pass values are finite")
                 .then_with(|| a.cmp(b))
@@ -111,7 +117,7 @@ impl Scheduler for StrideScheduler {
         } else {
             self.last_quantum
         };
-        if let Some(e) = self.tasks.get_mut(&id) {
+        if let Some(e) = self.tasks.get_mut(id.0) {
             let frac = if quantum.is_zero() {
                 1.0
             } else {
@@ -129,6 +135,7 @@ impl Scheduler for StrideScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
     fn q() -> SimDuration {
         SimDuration::from_millis(10)
@@ -220,6 +227,7 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::BTreeMap;
 
     proptest! {
         /// Long-run allocation matches ticket ratios within one

@@ -7,9 +7,8 @@
 //! weights this degenerates to plain round-robin, which is all
 //! Figure 1 needs; the weights let the ablation benches model `nice`.
 
-use std::collections::BTreeMap;
-
 use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::slot::DenseMap;
 use gridvm_simcore::time::{SimDuration, SimTime};
 
 use crate::scheduler::{Scheduler, TaskId, TaskParams};
@@ -37,7 +36,8 @@ struct Entry {
 /// ```
 #[derive(Debug, Default)]
 pub struct TimeShareScheduler {
-    tasks: BTreeMap<TaskId, Entry>,
+    /// Keyed by `TaskId.0` — task ids are small and densely assigned.
+    tasks: DenseMap<Entry>,
 }
 
 impl TimeShareScheduler {
@@ -61,7 +61,7 @@ impl Scheduler for TimeShareScheduler {
     fn add_task(&mut self, id: TaskId, params: TaskParams) {
         assert!(params.weight > 0, "zero-weight task");
         self.tasks.insert(
-            id,
+            id.0,
             Entry {
                 weight: params.weight,
                 credit: 0.0,
@@ -70,7 +70,7 @@ impl Scheduler for TimeShareScheduler {
     }
 
     fn remove_task(&mut self, id: TaskId) {
-        self.tasks.remove(&id);
+        self.tasks.remove(id.0);
     }
 
     fn select(
@@ -91,7 +91,7 @@ impl Scheduler for TimeShareScheduler {
             .map(|id| {
                 u64::from(
                     self.tasks
-                        .get(id)
+                        .get(id.0)
                         .unwrap_or_else(|| panic!("{id} not registered"))
                         .weight,
                 )
@@ -99,13 +99,14 @@ impl Scheduler for TimeShareScheduler {
             .sum();
         let q = quantum.as_secs_f64();
         for id in runnable {
-            let e = self.tasks.get_mut(id).expect("checked above");
+            let e = self.tasks.get_mut(id.0).expect("checked above");
             e.credit += q * f64::from(e.weight) / total_weight as f64 * cores as f64;
         }
+        let credit = |id: TaskId| self.tasks.get(id.0).expect("checked above").credit;
         let mut order: Vec<TaskId> = runnable.to_vec();
         order.sort_by(|a, b| {
-            let ca = self.tasks[a].credit;
-            let cb = self.tasks[b].credit;
+            let ca = credit(*a);
+            let cb = credit(*b);
             cb.partial_cmp(&ca)
                 .expect("credits are finite")
                 .then_with(|| a.cmp(b))
@@ -115,7 +116,7 @@ impl Scheduler for TimeShareScheduler {
     }
 
     fn charge(&mut self, id: TaskId, used: SimDuration) {
-        if let Some(e) = self.tasks.get_mut(&id) {
+        if let Some(e) = self.tasks.get_mut(id.0) {
             e.credit -= used.as_secs_f64();
         }
     }
@@ -128,6 +129,7 @@ impl Scheduler for TimeShareScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
     fn q() -> SimDuration {
         SimDuration::from_millis(10)

@@ -9,9 +9,8 @@
 //! that block and later return (their tags are floored to the current
 //! virtual time instead of letting them catch up unboundedly).
 
-use std::collections::BTreeMap;
-
 use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::slot::DenseMap;
 use gridvm_simcore::time::{SimDuration, SimTime};
 
 use crate::scheduler::{Scheduler, TaskId, TaskParams};
@@ -38,7 +37,8 @@ struct Entry {
 /// ```
 #[derive(Debug, Default)]
 pub struct WfqScheduler {
-    tasks: BTreeMap<TaskId, Entry>,
+    /// Keyed by `TaskId.0` — task ids are small and densely assigned.
+    tasks: DenseMap<Entry>,
     virtual_time: f64,
 }
 
@@ -58,7 +58,7 @@ impl Scheduler for WfqScheduler {
     fn add_task(&mut self, id: TaskId, params: TaskParams) {
         assert!(params.weight > 0, "zero-weight task");
         self.tasks.insert(
-            id,
+            id.0,
             Entry {
                 weight: f64::from(params.weight),
                 finish: self.virtual_time,
@@ -67,7 +67,7 @@ impl Scheduler for WfqScheduler {
     }
 
     fn remove_task(&mut self, id: TaskId) {
-        self.tasks.remove(&id);
+        self.tasks.remove(id.0);
     }
 
     fn select(
@@ -86,16 +86,17 @@ impl Scheduler for WfqScheduler {
         for id in runnable {
             let e = self
                 .tasks
-                .get_mut(id)
+                .get_mut(id.0)
                 .unwrap_or_else(|| panic!("{id} not registered"));
             if e.finish < self.virtual_time {
                 e.finish = self.virtual_time;
             }
         }
+        let finish = |id: TaskId| self.tasks.get(id.0).expect("floored above").finish;
         let mut order: Vec<TaskId> = runnable.to_vec();
         order.sort_by(|a, b| {
-            let fa = self.tasks[a].finish;
-            let fb = self.tasks[b].finish;
+            let fa = finish(*a);
+            let fb = finish(*b);
             fa.partial_cmp(&fb)
                 .expect("finish tags are finite")
                 .then_with(|| a.cmp(b))
@@ -104,13 +105,13 @@ impl Scheduler for WfqScheduler {
         // Advance the system virtual clock to the smallest selected
         // tag: virtual time tracks the head of the schedule.
         if let Some(first) = order.first() {
-            self.virtual_time = self.virtual_time.max(self.tasks[first].finish);
+            self.virtual_time = self.virtual_time.max(finish(*first));
         }
         order
     }
 
     fn charge(&mut self, id: TaskId, used: SimDuration) {
-        if let Some(e) = self.tasks.get_mut(&id) {
+        if let Some(e) = self.tasks.get_mut(id.0) {
             e.finish += used.as_secs_f64() / e.weight;
         }
     }
@@ -123,6 +124,7 @@ impl Scheduler for WfqScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
     fn q() -> SimDuration {
         SimDuration::from_millis(10)

@@ -1,0 +1,116 @@
+//! Criterion bench: the slot-layer containers in isolation — the
+//! SlotMap handle churn and DenseMap lookup shapes that sit under the
+//! vnet/vfs/sched/storage hot paths, with the BTreeMap equivalents
+//! alongside for an A/B on the same workload.
+
+use std::collections::BTreeMap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::slot::{DenseMap, Handle, SlotMap};
+
+/// Reproducible op stream: (selector, payload) pairs.
+fn ops(n: u64) -> Vec<u64> {
+    let mut rng = SimRng::seed_from(7);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+fn bench_slotmap(c: &mut Criterion) {
+    let stream = ops(100_000);
+
+    c.bench_function("slot: 100k insert/remove/get churn, ~1k live", |b| {
+        b.iter(|| {
+            let mut map: SlotMap<(), u64> = SlotMap::new();
+            let mut live: Vec<Handle<()>> = Vec::new();
+            let mut sum = 0u64;
+            for op in &stream {
+                match (op % 4, live.is_empty()) {
+                    (0, _) | (_, true) => live.push(map.insert(*op)),
+                    (1, false) => {
+                        let h = live.swap_remove((op >> 2) as usize % live.len());
+                        sum ^= map.remove(h).expect("live handle");
+                    }
+                    (_, false) => {
+                        let h = live[(op >> 2) as usize % live.len()];
+                        sum ^= *map.get(h).expect("live handle");
+                    }
+                }
+            }
+            black_box(sum)
+        })
+    });
+
+    c.bench_function("slot[btree]: same churn via BTreeMap", |b| {
+        b.iter(|| {
+            let mut map: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut live: Vec<u64> = Vec::new();
+            let mut next = 0u64;
+            let mut sum = 0u64;
+            for op in &stream {
+                match (op % 4, live.is_empty()) {
+                    (0, _) | (_, true) => {
+                        map.insert(next, *op);
+                        live.push(next);
+                        next += 1;
+                    }
+                    (1, false) => {
+                        let k = live.swap_remove((op >> 2) as usize % live.len());
+                        sum ^= map.remove(&k).expect("live key");
+                    }
+                    (_, false) => {
+                        let k = live[(op >> 2) as usize % live.len()];
+                        sum ^= *map.get(&k).expect("live key");
+                    }
+                }
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_densemap(c: &mut Criterion) {
+    let stream = ops(100_000);
+
+    c.bench_function("dense: 100k get/insert over 2k-key universe", |b| {
+        b.iter(|| {
+            let mut map: DenseMap<u64> = DenseMap::new();
+            let mut sum = 0u64;
+            for op in &stream {
+                let key = op % 2048;
+                match map.get_mut(key) {
+                    Some(v) => {
+                        *v = v.wrapping_add(*op);
+                        sum ^= *v;
+                    }
+                    None => {
+                        map.insert(key, *op);
+                    }
+                }
+            }
+            black_box(sum)
+        })
+    });
+
+    c.bench_function("dense[btree]: same mix via BTreeMap", |b| {
+        b.iter(|| {
+            let mut map: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut sum = 0u64;
+            for op in &stream {
+                let key = op % 2048;
+                match map.get_mut(&key) {
+                    Some(v) => {
+                        *v = v.wrapping_add(*op);
+                        sum ^= *v;
+                    }
+                    None => {
+                        map.insert(key, *op);
+                    }
+                }
+            }
+            black_box(sum)
+        })
+    });
+}
+
+criterion_group!(benches, bench_slotmap, bench_densemap);
+criterion_main!(benches);

@@ -13,7 +13,11 @@
 //!   earlier than the clock) — see [`crate::engine::Engine::audit`];
 //! - **LRU set**: intrusive-list link integrity (next/prev agree,
 //!   head/tail terminate, no cycles), map↔node agreement, and
-//!   capacity/arena accounting — see [`crate::lru::LruSet::audit`].
+//!   capacity/arena accounting — see [`crate::lru::LruSet::audit`];
+//! - **slot containers**: free-list/occupancy partition, generation
+//!   sanity and live-count agreement in
+//!   [`crate::slot::SlotMap::audit`], and dense↔sparse back-pointer
+//!   agreement in [`crate::slot::DenseMap::audit`].
 //!
 //! The module is compiled under `debug_assertions` (so every dev-
 //! profile test run exercises it) or the `audit` cargo feature (to opt

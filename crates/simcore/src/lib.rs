@@ -39,6 +39,11 @@
 //! * [`lru`] — the shared O(1) intrusive LRU set
 //!   ([`LruSet`](lru::LruSet)) under the proxy and buffer-cache block
 //!   caches.
+//! * [`slot`] — the dense-index hot-state layer: a generation-stamped
+//!   slot arena ([`SlotMap`](slot::SlotMap)) with typed
+//!   [`Handle<Tag>`](slot::Handle) keys, and a paged
+//!   [`DenseMap`](slot::DenseMap) for small integer key universes —
+//!   O(1) per-entity lookups with hash-free, deterministic iteration.
 //! * [`replication`] — the [`ReplicationRunner`], which fans N
 //!   independent replications across OS threads while keeping results
 //!   bit-identical for any thread count.
@@ -80,6 +85,7 @@ pub mod metrics;
 pub mod replication;
 pub mod rng;
 pub mod server;
+pub mod slot;
 pub mod stats;
 pub mod time;
 pub mod trace;

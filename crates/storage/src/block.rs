@@ -9,10 +9,10 @@
 //! that data read through three layers of proxies is the data the
 //! image server would have produced).
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use bytes::Bytes;
+use gridvm_simcore::slot::DenseMap;
 use gridvm_simcore::units::ByteSize;
 
 /// Address of one block within a store.
@@ -155,7 +155,9 @@ pub struct MemBlockStore {
     block_size: ByteSize,
     num_blocks: u64,
     seed: u64,
-    written: BTreeMap<BlockAddr, Bytes>,
+    /// Keyed by `BlockAddr.0` — bounded by `num_blocks`, so the paged
+    /// index stays proportional to the device size.
+    written: DenseMap<Bytes>,
     read_only: bool,
 }
 
@@ -173,7 +175,7 @@ impl MemBlockStore {
             block_size,
             num_blocks,
             seed,
-            written: BTreeMap::new(),
+            written: DenseMap::new(),
             read_only: false,
         }
     }
@@ -220,7 +222,7 @@ impl BlockStore for MemBlockStore {
         }
         Ok(self
             .written
-            .get(&addr)
+            .get(addr.0)
             .cloned()
             .unwrap_or_else(|| synthetic_block(self.seed, addr, self.block_size)))
     }
@@ -241,7 +243,7 @@ impl BlockStore for MemBlockStore {
                 got: data.len(),
             });
         }
-        self.written.insert(addr, data);
+        self.written.insert(addr.0, data);
         Ok(())
     }
 }

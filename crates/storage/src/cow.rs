@@ -8,10 +8,10 @@
 //! Linux virtual system disk ... shared by multiple dynamic
 //! instances").
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use gridvm_simcore::slot::DenseMap;
 use gridvm_simcore::units::ByteSize;
 
 use crate::block::{BlockAddr, BlockStore, MemBlockStore, StorageError};
@@ -36,7 +36,8 @@ use crate::block::{BlockAddr, BlockStore, MemBlockStore, StorageError};
 #[derive(Clone, Debug)]
 pub struct CowOverlay {
     base: Arc<MemBlockStore>,
-    diff: BTreeMap<BlockAddr, Bytes>,
+    /// Keyed by `BlockAddr.0` — bounded by the base device size.
+    diff: DenseMap<Bytes>,
 }
 
 impl CowOverlay {
@@ -44,7 +45,7 @@ impl CowOverlay {
     pub fn new(base: Arc<MemBlockStore>) -> Self {
         CowOverlay {
             base,
-            diff: BTreeMap::new(),
+            diff: DenseMap::new(),
         }
     }
 
@@ -65,7 +66,7 @@ impl CowOverlay {
 
     /// True when `addr` has been modified relative to the base.
     pub fn is_dirty(&self, addr: BlockAddr) -> bool {
-        self.diff.contains_key(&addr)
+        self.diff.contains_key(addr.0)
     }
 
     /// Discards all modifications (the non-persistent semantics at VM
@@ -83,8 +84,8 @@ impl CowOverlay {
             self.base.num_blocks(),
             self.base.seed(),
         );
-        for (addr, data) in &self.diff {
-            out.write(*addr, data.clone())
+        for (addr, data) in self.diff.iter() {
+            out.write(BlockAddr(addr), data.clone())
                 .expect("diff blocks are in range and sized");
         }
         out
@@ -107,7 +108,7 @@ impl BlockStore for CowOverlay {
                 blocks: self.num_blocks(),
             });
         }
-        if let Some(d) = self.diff.get(&addr) {
+        if let Some(d) = self.diff.get(addr.0) {
             return Ok(d.clone());
         }
         self.base.read(addr)
@@ -126,7 +127,7 @@ impl BlockStore for CowOverlay {
                 got: data.len(),
             });
         }
-        self.diff.insert(addr, data);
+        self.diff.insert(addr.0, data);
         Ok(())
     }
 }

@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use gridvm_simcore::server::{Pipe, ServiceGrant};
+use gridvm_simcore::slot::{Handle, SlotMap};
 use gridvm_simcore::time::SimTime;
 use gridvm_simcore::units::ByteSize;
 
@@ -47,6 +48,14 @@ impl From<StorageError> for ImageServerError {
     }
 }
 
+/// Tag type for published-image handles.
+pub enum ImageTag {}
+
+/// A resolved handle to a published image's block store — the fast
+/// key for repeated [`ImageServer::read_block_by`] calls, obtained
+/// once per session via [`ImageServer::resolve`].
+pub type ImageHandle = Handle<ImageTag>;
+
 /// A server that archives VM images on a local disk and serves block
 /// and staging requests.
 ///
@@ -66,7 +75,10 @@ impl From<StorageError> for ImageServerError {
 /// ```
 pub struct ImageServer {
     catalog: ImageCatalog,
-    stores: BTreeMap<String, Arc<MemBlockStore>>,
+    stores: SlotMap<ImageTag, Arc<MemBlockStore>>,
+    /// Name → handle resolution at the frontend boundary; the hot
+    /// block path is handle-indexed.
+    by_name: BTreeMap<String, ImageHandle>,
     disk: DiskModel,
     blocks_served: u64,
 }
@@ -85,7 +97,8 @@ impl ImageServer {
     pub fn new(disk: DiskModel) -> Self {
         ImageServer {
             catalog: ImageCatalog::new(),
-            stores: BTreeMap::new(),
+            stores: SlotMap::new(),
+            by_name: BTreeMap::new(),
             disk,
             blocks_served: 0,
         }
@@ -98,8 +111,22 @@ impl ImageServer {
     /// [`ImageServerError::Catalog`] if the name is already taken.
     pub fn publish(&mut self, image: VmImage) -> Result<Arc<VmImage>, ImageServerError> {
         let arc = self.catalog.register(image)?;
-        self.stores.insert(arc.name.clone(), arc.base_store());
+        let handle = self.stores.insert(arc.base_store());
+        self.by_name.insert(arc.name.clone(), handle);
         Ok(arc)
+    }
+
+    /// Resolves an image name into the handle that indexes the block
+    /// path, once per session.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageServerError::Catalog`] for unknown names.
+    pub fn resolve(&self, name: &str) -> Result<ImageHandle, ImageServerError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| CatalogError::NotFound(name.to_owned()).into())
     }
 
     /// The catalog (for information-service advertisement).
@@ -133,10 +160,26 @@ impl ImageServer {
         name: &str,
         addr: BlockAddr,
     ) -> Result<(ServiceGrant, Bytes), ImageServerError> {
+        let handle = self.resolve(name)?;
+        self.read_block_by(now, handle, addr)
+    }
+
+    /// Reads one image block through a pre-resolved handle — the hot
+    /// path for repeated on-demand fetches.
+    ///
+    /// # Errors
+    ///
+    /// Unknown (stale) handle or out-of-range block.
+    pub fn read_block_by(
+        &mut self,
+        now: SimTime,
+        image: ImageHandle,
+        addr: BlockAddr,
+    ) -> Result<(ServiceGrant, Bytes), ImageServerError> {
         let store = self
             .stores
-            .get(name)
-            .ok_or_else(|| CatalogError::NotFound(name.to_owned()))?;
+            .get(image)
+            .map_err(|_| CatalogError::NotFound(format!("{image:?}")))?;
         let data = store.read(addr)?;
         let grant = self.disk.access(now, addr, AccessKind::Read);
         self.blocks_served += 1;

@@ -7,8 +7,7 @@
 //! unchanged ("without requiring ... changes to native OS file system
 //! clients and servers").
 
-use std::collections::BTreeMap;
-
+use gridvm_simcore::slot::DenseMap;
 use gridvm_simcore::time::{SimDuration, SimTime};
 
 use crate::fs::{FileAttr, FileHandle};
@@ -38,9 +37,16 @@ pub const ATTR_CACHE_TTL: SimDuration = SimDuration::from_secs(3);
 /// ```
 pub struct VfsClient {
     mount: Mount,
-    attr_cache: BTreeMap<FileHandle, (FileAttr, SimTime)>,
+    /// Keyed by the handle's slot index (dense); the stored full
+    /// handle value disambiguates slot reuse across removals.
+    attr_cache: DenseMap<(u64, FileAttr, SimTime)>,
     attr_hits: u64,
     attr_misses: u64,
+}
+
+/// Dense per-file key: the handle's slot index.
+fn file_key(fh: FileHandle) -> u64 {
+    fh.0 & 0xFFFF_FFFF
 }
 
 impl std::fmt::Debug for VfsClient {
@@ -57,7 +63,7 @@ impl VfsClient {
     pub fn new(mount: Mount) -> Self {
         VfsClient {
             mount,
-            attr_cache: BTreeMap::new(),
+            attr_cache: DenseMap::new(),
             attr_hits: 0,
             attr_misses: 0,
         }
@@ -89,8 +95,8 @@ impl VfsClient {
         now: SimTime,
         fh: FileHandle,
     ) -> (SimTime, Result<FileAttr, NfsError>) {
-        if let Some((attr, expiry)) = self.attr_cache.get(&fh) {
-            if now < *expiry {
+        if let Some((owner, attr, expiry)) = self.attr_cache.get(file_key(fh)) {
+            if *owner == fh.0 && now < *expiry {
                 self.attr_hits += 1;
                 return (now, Ok(*attr));
             }
@@ -102,7 +108,8 @@ impl VfsClient {
             other => unreachable!("getattr returned {other:?}"),
         });
         if let Ok(a) = &r {
-            self.attr_cache.insert(fh, (*a, t + ATTR_CACHE_TTL));
+            self.attr_cache
+                .insert(file_key(fh), (fh.0, *a, t + ATTR_CACHE_TTL));
         }
         (t, r)
     }
@@ -123,7 +130,8 @@ impl VfsClient {
         );
         let r = r.map(|resp| match resp {
             NfsResponse::Handle(h, attr) => {
-                self.attr_cache.insert(h, (attr, t + ATTR_CACHE_TTL));
+                self.attr_cache
+                    .insert(file_key(h), (h.0, attr, t + ATTR_CACHE_TTL));
                 h
             }
             other => unreachable!("lookup returned {other:?}"),
@@ -167,7 +175,9 @@ impl VfsClient {
         offset: u64,
         data: &[u8],
     ) -> (SimTime, Result<(), NfsError>) {
-        self.attr_cache.remove(&fh);
+        if matches!(self.attr_cache.get(file_key(fh)), Some((owner, ..)) if *owner == fh.0) {
+            self.attr_cache.remove(file_key(fh));
+        }
         self.mount.write_range(now, fh, offset, data)
     }
 }

@@ -8,11 +8,19 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use bytes::Bytes;
+use gridvm_simcore::slot::{Handle, SlotMap};
 use gridvm_simcore::time::SimTime;
 use gridvm_simcore::units::ByteSize;
 use gridvm_storage::block::{synthetic_file_chunk, BlockAddr};
 
+/// Tag type for inode-table handles.
+enum FsTag {}
+
 /// Handle to a file or directory (an inode number, as in NFS).
+///
+/// The value packs a generation-stamped slot handle into the inode
+/// table, so a handle held across a remove is detectably stale even
+/// after the slot is reused (NFS `ESTALE` semantics).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileHandle(pub u64);
 
@@ -114,7 +122,8 @@ enum Node {
 /// ```
 #[derive(Clone, Debug)]
 pub struct InMemoryFs {
-    nodes: Vec<Option<Node>>,
+    nodes: SlotMap<FsTag, Node>,
+    root: FileHandle,
 }
 
 impl Default for InMemoryFs {
@@ -126,36 +135,37 @@ impl Default for InMemoryFs {
 impl InMemoryFs {
     /// Creates a file system with an empty root directory.
     pub fn new() -> Self {
-        InMemoryFs {
-            nodes: vec![Some(Node::Dir {
-                entries: BTreeMap::new(),
-                mtime: SimTime::ZERO,
-            })],
-        }
+        let mut nodes = SlotMap::new();
+        let root = FileHandle(
+            nodes
+                .insert(Node::Dir {
+                    entries: BTreeMap::new(),
+                    mtime: SimTime::ZERO,
+                })
+                .pack(),
+        );
+        InMemoryFs { nodes, root }
     }
 
     /// The root directory handle.
     pub fn root(&self) -> FileHandle {
-        FileHandle(0)
+        self.root
     }
 
     fn node(&self, h: FileHandle) -> Result<&Node, FsError> {
         self.nodes
-            .get(h.0 as usize)
-            .and_then(|n| n.as_ref())
-            .ok_or(FsError::Stale(h))
+            .get(Handle::from_pack(h.0))
+            .map_err(|_| FsError::Stale(h))
     }
 
     fn node_mut(&mut self, h: FileHandle) -> Result<&mut Node, FsError> {
         self.nodes
-            .get_mut(h.0 as usize)
-            .and_then(|n| n.as_mut())
-            .ok_or(FsError::Stale(h))
+            .get_mut(Handle::from_pack(h.0))
+            .map_err(|_| FsError::Stale(h))
     }
 
     fn alloc(&mut self, node: Node) -> FileHandle {
-        self.nodes.push(Some(node));
-        FileHandle(self.nodes.len() as u64 - 1)
+        FileHandle(self.nodes.insert(node).pack())
     }
 
     /// Looks `name` up in directory `dir`.
@@ -394,20 +404,32 @@ impl InMemoryFs {
             }
             Node::File { .. } => return Err(FsError::NotDir),
         }
-        self.nodes[victim.0 as usize] = None;
+        self.nodes
+            .remove(Handle::from_pack(victim.0))
+            .map_err(|_| FsError::Stale(victim))?;
         Ok(())
+    }
+
+    /// First and last block indices an NFS transfer of the byte range
+    /// touches (8 KiB-aligned), or `None` for an empty range. The
+    /// allocation-free core of
+    /// [`blocks_for_range`](InMemoryFs::blocks_for_range) for hot
+    /// paths that only need the span.
+    pub fn block_span(offset: u64, len: u64, block: ByteSize) -> Option<(u64, u64)> {
+        if len == 0 {
+            return None;
+        }
+        let bs = block.as_u64();
+        Some((offset / bs, (offset + len - 1) / bs))
     }
 
     /// Maps a byte range of a file onto the 8 KiB-aligned block
     /// addresses that an NFS transfer of that range touches.
     pub fn blocks_for_range(offset: u64, len: u64, block: ByteSize) -> Vec<BlockAddr> {
-        if len == 0 {
-            return Vec::new();
+        match Self::block_span(offset, len, block) {
+            Some((first, last)) => (first..=last).map(BlockAddr).collect(),
+            None => Vec::new(),
         }
-        let bs = block.as_u64();
-        let first = offset / bs;
-        let last = (offset + len - 1) / bs;
-        (first..=last).map(BlockAddr).collect()
     }
 }
 

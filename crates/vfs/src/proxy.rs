@@ -8,10 +8,9 @@
 //! stay within a couple of percent of local execution, and what the
 //! ablation bench `ablation_proxy_cache` switches off.
 
-use std::collections::BTreeMap;
-
 use gridvm_simcore::lru::LruSet;
 use gridvm_simcore::metrics::Counter;
+use gridvm_simcore::slot::DenseMap;
 use gridvm_simcore::time::{SimDuration, SimTime};
 
 /// Blocks served from the proxy cache (hot: one add per read hit).
@@ -81,7 +80,9 @@ pub struct VfsProxy {
     /// `(file, block)` residency with O(1) recency bookkeeping.
     cache: LruSet<(u64, u64)>,
     /// Per-file last read end offset, for sequentiality detection.
-    last_read_end: BTreeMap<u64, u64>,
+    /// Keyed by the handle's slot index (dense); the stored full
+    /// handle value disambiguates slot reuse across removals.
+    last_read_end: DenseMap<(u64, u64)>,
     buffered_blocks: usize,
     hits: u64,
     misses: u64,
@@ -96,7 +97,7 @@ impl VfsProxy {
         VfsProxy {
             cache: LruSet::new(config.cache_blocks),
             config,
-            last_read_end: BTreeMap::new(),
+            last_read_end: DenseMap::new(),
             buffered_blocks: 0,
             hits: 0,
             misses: 0,
@@ -139,6 +140,15 @@ impl VfsProxy {
         self.cache.touch(&key)
     }
 
+    /// Dense per-file key: the handle's slot index.
+    fn file_key(fh: FileHandle) -> u64 {
+        fh.0 & 0xFFFF_FFFF
+    }
+
+    fn set_last_read_end(&mut self, fh: FileHandle, end: u64) {
+        self.last_read_end.insert(Self::file_key(fh), (fh.0, end));
+    }
+
     fn insert(&mut self, key: (u64, u64)) {
         self.cache.insert(key);
     }
@@ -152,22 +162,36 @@ impl VfsProxy {
         len: u64,
         now: SimTime,
     ) -> Option<SimTime> {
-        let blocks = InMemoryFs::blocks_for_range(offset, len.min(NFS_BLOCK.as_u64()), NFS_BLOCK);
-        if blocks.is_empty() {
+        let Some((first, last)) =
+            InMemoryFs::block_span(offset, len.min(NFS_BLOCK.as_u64()), NFS_BLOCK)
+        else {
             return Some(now);
+        };
+        if first == last {
+            // Single-block read — the dominant shape: `touch` is both
+            // the residency probe and the recency refresh, so the hit
+            // path costs one cache lookup instead of two.
+            if !self.cache.touch(&(fh.0, first)) {
+                return None;
+            }
+            self.hits += 1;
+            PROXY_HITS.add(1);
+            self.set_last_read_end(fh, offset + len);
+            return Some(now + self.config.hit_cost);
         }
-        let all_cached = blocks.iter().all(|b| self.cache.contains(&(fh.0, b.0)));
+        let all_cached = (first..=last).all(|b| self.cache.contains(&(fh.0, b)));
         if !all_cached {
             return None;
         }
-        for b in &blocks {
-            let hit = self.touch((fh.0, b.0));
+        for b in first..=last {
+            let hit = self.touch((fh.0, b));
             debug_assert!(hit);
         }
-        self.hits += blocks.len() as u64;
-        PROXY_HITS.add(blocks.len() as u64);
-        self.last_read_end.insert(fh.0, offset + len);
-        Some(now + self.config.hit_cost * blocks.len() as u64)
+        let count = last - first + 1;
+        self.hits += count;
+        PROXY_HITS.add(count);
+        self.set_last_read_end(fh, offset + len);
+        Some(now + self.config.hit_cost * count)
     }
 
     /// Records a read miss that was served by the server, installs
@@ -183,12 +207,12 @@ impl VfsProxy {
         let len = len.min(NFS_BLOCK.as_u64());
         let sequential = self
             .last_read_end
-            .get(&fh.0)
-            .is_some_and(|end| *end == offset);
+            .get(Self::file_key(fh))
+            .is_some_and(|(owner, end)| *owner == fh.0 && *end == offset);
         self.misses += 1;
         PROXY_MISSES.add(1);
         self.install(fh, offset, len);
-        self.last_read_end.insert(fh.0, offset + len);
+        self.set_last_read_end(fh, offset + len);
         if !sequential || self.config.prefetch_depth == 0 {
             return Vec::new();
         }
@@ -211,8 +235,10 @@ impl VfsProxy {
     /// Marks the blocks of a range as cached (used for demand fills
     /// and prefetch completions).
     pub fn install(&mut self, fh: FileHandle, offset: u64, len: u64) {
-        for b in InMemoryFs::blocks_for_range(offset, len, NFS_BLOCK) {
-            self.insert((fh.0, b.0));
+        if let Some((first, last)) = InMemoryFs::block_span(offset, len, NFS_BLOCK) {
+            for b in first..=last {
+                self.insert((fh.0, b));
+            }
         }
     }
 
@@ -227,7 +253,10 @@ impl VfsProxy {
         len: u64,
         now: SimTime,
     ) -> Option<SimTime> {
-        let blocks = InMemoryFs::blocks_for_range(offset, len, NFS_BLOCK).len();
+        let blocks = match InMemoryFs::block_span(offset, len, NFS_BLOCK) {
+            Some((first, last)) => (last - first + 1) as usize,
+            None => 0,
+        };
         if self.buffered_blocks + blocks > self.config.write_buffer_blocks {
             // Buffer full: the synchronous path drains it.
             self.buffered_blocks = 0;

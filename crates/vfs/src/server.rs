@@ -143,10 +143,12 @@ impl NfsServer {
             return now;
         }
         let mut done = now;
-        for b in InMemoryFs::blocks_for_range(offset, len, NFS_BLOCK) {
-            let addr = gridvm_storage::block::BlockAddr(fh.0 << 40 | b.0);
-            let g = self.disk.access(done, addr, kind);
-            done = g.finish;
+        if let Some((first, last)) = InMemoryFs::block_span(offset, len, NFS_BLOCK) {
+            for b in first..=last {
+                let addr = gridvm_storage::block::BlockAddr(fh.0 << 40 | b);
+                let g = self.disk.access(done, addr, kind);
+                done = g.finish;
+            }
         }
         done
     }

@@ -5,6 +5,7 @@
 
 use std::collections::BTreeMap;
 
+use gridvm_simcore::slot::DenseMap;
 use gridvm_simcore::time::{SimDuration, SimTime};
 
 use crate::addr::{Ipv4Addr, MacAddr, Subnet};
@@ -58,7 +59,14 @@ impl std::error::Error for DhcpError {}
 pub struct DhcpServer {
     subnet: Subnet,
     lease_time: SimDuration,
+    /// MAC-keyed lease table. The MAC is an external boundary key
+    /// (clients identify themselves by it), so this stays an ordered
+    /// map; the per-address hot path below resolves to host indices.
     leases: BTreeMap<MacAddr, Lease>,
+    /// Per-host-index occupancy keyed by the address's host number:
+    /// the current holder and its expiry. Makes `find_free` O(1) per
+    /// candidate instead of a scan of every lease.
+    in_use: DenseMap<(MacAddr, SimTime)>,
     next_host: u32,
 }
 
@@ -74,8 +82,14 @@ impl DhcpServer {
             subnet,
             lease_time,
             leases: BTreeMap::new(),
+            in_use: DenseMap::new(),
             next_host: 1,
         }
+    }
+
+    /// Host index of `addr` within the managed subnet.
+    fn host_index(&self, addr: Ipv4Addr) -> u64 {
+        u64::from(addr.0 - self.subnet.base().0)
     }
 
     /// The managed subnet.
@@ -103,6 +117,8 @@ impl DhcpServer {
                     expires: now + self.lease_time,
                 };
                 self.leases.insert(mac, renewed);
+                self.in_use
+                    .insert(self.host_index(renewed.addr), (mac, renewed.expires));
                 return Ok(renewed);
             }
         }
@@ -112,6 +128,8 @@ impl DhcpServer {
             expires: now + self.lease_time,
         };
         self.leases.insert(mac, lease);
+        self.in_use
+            .insert(self.host_index(addr), (mac, lease.expires));
         Ok(lease)
     }
 
@@ -119,11 +137,11 @@ impl DhcpServer {
         let count = self.subnet.host_count();
         for _ in 0..count {
             let candidate = self.subnet.host(self.next_host);
+            let taken = matches!(
+                self.in_use.get(u64::from(self.next_host)),
+                Some((_, expires)) if *expires > now
+            );
             self.next_host = self.next_host % count + 1;
-            let taken = self
-                .leases
-                .values()
-                .any(|l| l.addr == candidate && l.expires > now);
             if !taken {
                 return Some(candidate);
             }
@@ -145,7 +163,14 @@ impl DhcpServer {
 
     /// Releases `mac`'s lease (VM shutdown). Idempotent.
     pub fn release(&mut self, mac: MacAddr) {
-        self.leases.remove(&mac);
+        if let Some(lease) = self.leases.remove(&mac) {
+            let host = self.host_index(lease.addr);
+            // Only clear occupancy while `mac` still holds the address;
+            // an expired lease may have been reassigned already.
+            if matches!(self.in_use.get(host), Some((owner, _)) if *owner == mac) {
+                self.in_use.remove(host);
+            }
+        }
     }
 }
 

@@ -8,9 +8,10 @@
 //! whenever measurements change. The ablation bench compares direct
 //! underlay paths against overlay routing when a path degrades.
 
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use gridvm_simcore::metrics::Counter;
+use gridvm_simcore::slot::DenseMap;
 use gridvm_simcore::time::{SimDuration, SimTime};
 
 /// Route queries answered straight from the topology-versioned pair
@@ -97,8 +98,14 @@ impl Route {
 pub struct Overlay {
     next_id: u32,
     nodes: Vec<NodeId>,
-    /// Directed measured latency. Probes set both directions.
-    links: BTreeMap<(NodeId, NodeId), SimDuration>,
+    /// Liveness indexed by node id (ids are sequential and never
+    /// reused) — O(1) membership on the per-packet path.
+    alive: Vec<bool>,
+    /// Per-node adjacency lists, each sorted by neighbor id so
+    /// Dijkstra relaxes neighbors in exactly the order the previous
+    /// `BTreeMap` range scan produced (identical tie-breaking,
+    /// identical routes). Probes set both directions.
+    adj: DenseMap<Vec<(NodeId, SimDuration)>>,
     reroutes: u64,
     /// Bumped by every topology mutation (node/link add, remove,
     /// measurement change, outage); cached answers are valid only
@@ -106,20 +113,20 @@ pub struct Overlay {
     topo_version: u64,
     /// Per-source shortest-path tree, computed by one full Dijkstra
     /// and shared across every destination until the topology
-    /// changes.
-    spt_cache: BTreeMap<NodeId, SptEntry>,
-    /// Per-pair routes (also the previous-answer memory behind the
-    /// `reroutes` self-optimization metric, which compares across
-    /// versions).
-    route_cache: BTreeMap<(NodeId, NodeId), (u64, Route)>,
+    /// changes. Keyed by source node id.
+    spt_cache: DenseMap<SptEntry>,
+    /// Per-pair routes, as dense per-source rows keyed by destination
+    /// id (also the previous-answer memory behind the `reroutes`
+    /// self-optimization metric, which compares across versions).
+    route_cache: DenseMap<DenseMap<(u64, Route)>>,
 }
 
-/// A cached single-source shortest-path tree.
+/// A cached single-source shortest-path tree, keyed by node id.
 #[derive(Clone, Debug, Default)]
 struct SptEntry {
     version: u64,
-    dist: BTreeMap<NodeId, SimDuration>,
-    prev: BTreeMap<NodeId, NodeId>,
+    dist: DenseMap<SimDuration>,
+    prev: DenseMap<u32>,
 }
 
 impl Overlay {
@@ -133,18 +140,40 @@ impl Overlay {
         let id = NodeId(self.next_id);
         self.next_id += 1;
         self.nodes.push(id);
+        // Ids are issued sequentially, so `alive` stays index == id.
+        self.alive.push(true);
+        self.adj.insert(u64::from(id.0), Vec::new());
         self.topo_version += 1;
         id
+    }
+
+    fn is_member(&self, node: NodeId) -> bool {
+        self.alive.get(node.0 as usize).copied().unwrap_or(false)
     }
 
     /// Removes a node and every measurement touching it (VM
     /// shutdown/migration away).
     pub fn remove_node(&mut self, node: NodeId) {
         self.nodes.retain(|n| *n != node);
-        self.links.retain(|(a, b), _| *a != node && *b != node);
-        self.spt_cache.remove(&node);
-        self.route_cache
-            .retain(|(a, b), _| *a != node && *b != node);
+        if let Some(flag) = self.alive.get_mut(node.0 as usize) {
+            *flag = false;
+        }
+        // Measurements are symmetric, so the node's own list names
+        // every neighbor whose list must drop it.
+        if let Some(neighbors) = self.adj.remove(u64::from(node.0)) {
+            for (b, _) in neighbors {
+                if let Some(list) = self.adj.get_mut(u64::from(b.0)) {
+                    if let Ok(i) = list.binary_search_by_key(&node, |(n, _)| *n) {
+                        list.remove(i);
+                    }
+                }
+            }
+        }
+        self.spt_cache.remove(u64::from(node.0));
+        self.route_cache.remove(u64::from(node.0));
+        for (_, row) in self.route_cache.iter_mut() {
+            row.remove(u64::from(node.0));
+        }
         self.topo_version += 1;
     }
 
@@ -153,24 +182,47 @@ impl Overlay {
         &self.nodes
     }
 
+    /// Installs or updates the directed edge `a → b`, keeping the
+    /// adjacency list sorted by neighbor id.
+    fn set_link(&mut self, a: NodeId, b: NodeId, latency: SimDuration) {
+        if self.adj.get(u64::from(a.0)).is_none() {
+            self.adj.insert(u64::from(a.0), Vec::new());
+        }
+        let list = self.adj.get_mut(u64::from(a.0)).expect("list just ensured");
+        match list.binary_search_by_key(&b, |(n, _)| *n) {
+            Ok(i) => list[i].1 = latency,
+            Err(i) => list.insert(i, (b, latency)),
+        }
+    }
+
+    fn clear_link(&mut self, a: NodeId, b: NodeId) {
+        if let Some(list) = self.adj.get_mut(u64::from(a.0)) {
+            if let Ok(i) = list.binary_search_by_key(&b, |(n, _)| *n) {
+                list.remove(i);
+            }
+        }
+    }
+
     /// Records a (symmetric) latency measurement between two nodes —
     /// the result of a probe.
     pub fn update_measurement(&mut self, a: NodeId, b: NodeId, latency: SimDuration) {
-        self.links.insert((a, b), latency);
-        self.links.insert((b, a), latency);
+        self.set_link(a, b, latency);
+        self.set_link(b, a, latency);
         self.topo_version += 1;
     }
 
     /// Marks the path between two nodes unusable (probe timed out).
     pub fn mark_down(&mut self, a: NodeId, b: NodeId) {
-        self.links.remove(&(a, b));
-        self.links.remove(&(b, a));
+        self.clear_link(a, b);
+        self.clear_link(b, a);
         self.topo_version += 1;
     }
 
     /// The measured direct latency, if a usable measurement exists.
     pub fn direct_latency(&self, a: NodeId, b: NodeId) -> Option<SimDuration> {
-        self.links.get(&(a, b)).copied()
+        let list = self.adj.get(u64::from(a.0))?;
+        let i = list.binary_search_by_key(&b, |(n, _)| *n).ok()?;
+        Some(list[i].1)
     }
 
     /// Times the overlay has changed its answer for a pair.
@@ -212,7 +264,8 @@ impl Overlay {
         self.ensure_route(from, to)?;
         Ok(&self
             .route_cache
-            .get(&(from, to))
+            .get(u64::from(from.0))
+            .and_then(|row| row.get(u64::from(to.0)))
             .expect("ensure_route populated the pair cache")
             .1)
     }
@@ -221,16 +274,16 @@ impl Overlay {
     /// (possibly also recomputed) per-source shortest-path tree when
     /// the topology has moved on.
     fn ensure_route(&mut self, from: NodeId, to: NodeId) -> Result<(), OverlayError> {
-        if !self.nodes.contains(&from) {
+        if !self.is_member(from) {
             return Err(OverlayError::UnknownNode(from));
         }
-        if !self.nodes.contains(&to) {
+        if !self.is_member(to) {
             return Err(OverlayError::UnknownNode(to));
         }
-        let key = (from, to);
         if self
             .route_cache
-            .get(&key)
+            .get(u64::from(from.0))
+            .and_then(|row| row.get(u64::from(to.0)))
             .is_some_and(|(v, _)| *v == self.topo_version)
         {
             ROUTE_CACHE_HITS.add(1);
@@ -244,15 +297,22 @@ impl Overlay {
             }
         } else {
             self.ensure_spt(from);
-            let spt = &self.spt_cache[&from];
+            let spt = self
+                .spt_cache
+                .get(u64::from(from.0))
+                .expect("ensure_spt populated the source entry");
             let latency = *spt
                 .dist
-                .get(&to)
+                .get(u64::from(to.0))
                 .ok_or(OverlayError::Unreachable { from, to })?;
             let mut hops = vec![to];
             let mut cur = to;
             while cur != from {
-                cur = spt.prev[&cur];
+                cur = NodeId(
+                    *spt.prev
+                        .get(u64::from(cur.0))
+                        .expect("every reached node has a predecessor"),
+                );
                 hops.push(cur);
             }
             hops.reverse();
@@ -260,48 +320,61 @@ impl Overlay {
         };
         // Track route changes for the self-optimization metric: the
         // stale pair entry is the previous answer.
-        if let Some((_, old)) = self.route_cache.get(&key) {
-            if old.hops != route.hops {
-                self.reroutes += 1;
-            }
+        let changed = self
+            .route_cache
+            .get(u64::from(from.0))
+            .and_then(|row| row.get(u64::from(to.0)))
+            .is_some_and(|(_, old)| old.hops != route.hops);
+        if changed {
+            self.reroutes += 1;
         }
-        self.route_cache.insert(key, (self.topo_version, route));
+        if self.route_cache.get(u64::from(from.0)).is_none() {
+            self.route_cache.insert(u64::from(from.0), DenseMap::new());
+        }
+        self.route_cache
+            .get_mut(u64::from(from.0))
+            .expect("row just ensured")
+            .insert(u64::from(to.0), (self.topo_version, route));
         Ok(())
     }
 
     /// Ensures `spt_cache[from]` matches the current topology: one
     /// full Dijkstra (no early exit — the tree serves every
     /// destination) with neighbor iteration restricted to `from`'s
-    /// outgoing links via a range scan, not a scan of all links.
+    /// sorted adjacency list, not a scan of all links.
     fn ensure_spt(&mut self, from: NodeId) {
         if self
             .spt_cache
-            .get(&from)
+            .get(u64::from(from.0))
             .is_some_and(|e| e.version == self.topo_version)
         {
             return;
         }
-        let mut dist: BTreeMap<NodeId, SimDuration> = BTreeMap::new();
-        let mut prev: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut dist: DenseMap<SimDuration> = DenseMap::new();
+        let mut prev: DenseMap<u32> = DenseMap::new();
         let mut heap: BinaryHeap<std::cmp::Reverse<(SimDuration, NodeId)>> = BinaryHeap::new();
-        dist.insert(from, SimDuration::ZERO);
+        dist.insert(u64::from(from.0), SimDuration::ZERO);
         heap.push(std::cmp::Reverse((SimDuration::ZERO, from)));
         while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
-            if dist.get(&u).is_some_and(|best| *best < d) {
+            if dist.get(u64::from(u.0)).is_some_and(|best| *best < d) {
                 continue;
             }
-            let out = (u, NodeId(u32::MIN))..=(u, NodeId(u32::MAX));
-            for ((_, b), w) in self.links.range(out) {
+            let Some(neighbors) = self.adj.get(u64::from(u.0)) else {
+                continue;
+            };
+            // Sorted by id: the same relaxation order as the previous
+            // implementation's `links.range((u, MIN)..=(u, MAX))`.
+            for (b, w) in neighbors {
                 let nd = d + *w;
-                if dist.get(b).is_none_or(|best| nd < *best) {
-                    dist.insert(*b, nd);
-                    prev.insert(*b, u);
+                if dist.get(u64::from(b.0)).is_none_or(|best| nd < *best) {
+                    dist.insert(u64::from(b.0), nd);
+                    prev.insert(u64::from(b.0), u.0);
                     heap.push(std::cmp::Reverse((nd, *b)));
                 }
             }
         }
         self.spt_cache.insert(
-            from,
+            u64::from(from.0),
             SptEntry {
                 version: self.topo_version,
                 dist,

@@ -129,6 +129,9 @@ impl EthernetTunnel {
 pub struct Vpn {
     tunnel: EthernetTunnel,
     home_dhcp: DhcpServer,
+    /// MAC-keyed membership. MACs are external boundary keys (sparse
+    /// 48-bit identifiers), so this stays an ordered map; joins and
+    /// leaves are cold control-plane operations.
     members: BTreeMap<MacAddr, Ipv4Addr>,
 }
 

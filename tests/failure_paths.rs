@@ -133,6 +133,36 @@ fn stale_handles_fail_across_the_full_stack() {
 }
 
 #[test]
+fn stale_slot_derefs_are_typed_and_counted() {
+    use gridvm::simcore::metrics;
+    use gridvm::simcore::slot::SlotMap;
+
+    metrics::reset();
+    let mut arena: SlotMap<(), &'static str> = SlotMap::new();
+    let h = arena.insert("ephemeral");
+    assert_eq!(arena.remove(h), Ok("ephemeral"));
+
+    // Every dereference flavour fails with the typed error that names
+    // the held and current generations — no silent recycled reads.
+    let stale = arena.get(h).expect_err("freed handle must not read");
+    assert_eq!(stale.held, 0);
+    assert_eq!(stale.current, Some(1), "free bumped the generation");
+    assert!(arena.get_mut(h).is_err());
+    assert!(arena.remove(h).is_err());
+
+    // Slot reuse keeps the old handle stale: the recycled slot's new
+    // generation does not resurrect it.
+    let h2 = arena.insert("recycled");
+    assert_eq!(arena.get(h2), Ok(&"recycled"));
+    assert!(arena.get(h).is_err());
+    assert!(!arena.contains(h), "contains is the non-counting query");
+
+    // The slot.stale_derefs counter makes stale-pointer loops visible
+    // in harvested metrics: one bump per failed deref above.
+    assert_eq!(metrics::take().counter("slot.stale_derefs"), 4);
+}
+
+#[test]
 fn storage_bounds_hold_through_layers() {
     let image = gridvm::storage::image::VmImage::redhat_guest("rh72");
     let mut overlay = gridvm::storage::cow::CowOverlay::new(image.base_store());
