@@ -73,6 +73,7 @@ pub fn scan_source(
             crate_name: krate.to_owned(),
             kind: rules::SourceKind::Lib,
             hot: false,
+            sync_sanctioned: false,
         },
         None => FileContext::from_path(rel_path),
     };

@@ -16,6 +16,7 @@
 //! | `float-accum`     | float reduction (`sum`/`fold`/`+=`) over an unordered hash iteration: result depends on visit order |
 //! | `unwrap-lib`      | `.unwrap()` in library code: panics without an invariant message |
 //! | `hot-btree-lookup`| `BTreeMap`/`BTreeSet` in a file listed under `[hot_paths]` in `audit.toml`: O(log n) lookups on a measured hot path |
+//! | `sync-primitive`  | `Mutex`/`RwLock`/`Atomic*` in sim-state library code outside the sanctioned `simcore::shard` synchronizer: ad-hoc cross-thread coordination invites schedule-dependent results |
 
 use crate::lexer::{tokenize, Token, TokenKind};
 
@@ -65,6 +66,10 @@ pub struct FileContext {
     /// `audit.toml`: its per-entity lookups are measured hot paths,
     /// so ordered containers need an audited reason.
     pub hot: bool,
+    /// True for the one file allowed to hold locks and atomics:
+    /// `crates/simcore/src/shard.rs`, the conservative synchronizer
+    /// that *is* the sanctioned cross-thread coordination layer.
+    pub sync_sanctioned: bool,
 }
 
 impl FileContext {
@@ -92,6 +97,7 @@ impl FileContext {
             crate_name,
             kind,
             hot: false,
+            sync_sanctioned: rel_path == "crates/simcore/src/shard.rs",
         }
     }
 
@@ -149,6 +155,13 @@ pub const RULES: &[RuleInfo] = &[
         name: "static-mut",
         summary: "`static mut` global: shared mutable state breaks replication isolation \
                   and is unsound under threads",
+    },
+    RuleInfo {
+        name: "sync-primitive",
+        summary: "Mutex/RwLock/Atomic* in sim-state library code outside the sanctioned \
+                  simcore::shard synchronizer: ad-hoc locking makes results depend on the \
+                  OS schedule; route coordination through shard/replication or allowlist \
+                  with an audited reason",
     },
     RuleInfo {
         name: "unseeded-rand",
@@ -236,6 +249,24 @@ pub fn scan(src: &str, ctx: &FileContext) -> Vec<Finding> {
                             .to_owned(),
                     });
                 }
+                "Mutex" | "RwLock"
+                    if ctx.is_sim_state()
+                        && ctx.kind == SourceKind::Lib
+                        && !ctx.sync_sanctioned =>
+                {
+                    out.push(Finding {
+                        rule: "sync-primitive",
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "{name} in sim-state crate `{}` outside the sanctioned \
+                             simcore::shard synchronizer: ad-hoc locking makes results \
+                             depend on the OS schedule; route cross-thread coordination \
+                             through shard/replication or record an audited exception",
+                            ctx.crate_name
+                        ),
+                    });
+                }
                 "unwrap"
                     if ctx.kind == SourceKind::Lib
                         && i > 0
@@ -249,6 +280,25 @@ pub fn scan(src: &str, ctx: &FileContext) -> Vec<Finding> {
                         message: ".unwrap() in library code: convert to a typed error or \
                                   expect(\"<invariant that makes this infallible>\")"
                             .to_owned(),
+                    });
+                }
+                _ if name.starts_with("Atomic")
+                    && ctx.is_sim_state()
+                    && ctx.kind == SourceKind::Lib
+                    && !ctx.sync_sanctioned =>
+                {
+                    out.push(Finding {
+                        rule: "sync-primitive",
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "{name} in sim-state crate `{}` outside the sanctioned \
+                             simcore::shard synchronizer: lock-free shared state still \
+                             makes results depend on the OS schedule; route cross-thread \
+                             coordination through shard/replication or record an audited \
+                             exception",
+                            ctx.crate_name
+                        ),
                     });
                 }
                 _ if UNSEEDED_IDENTS.contains(&name.as_str()) => {
@@ -539,6 +589,7 @@ mod tests {
             crate_name: krate.to_owned(),
             kind: SourceKind::Lib,
             hot: false,
+            sync_sanctioned: false,
         }
     }
 
@@ -555,6 +606,7 @@ mod tests {
             crate_name: "sched".into(),
             kind: SourceKind::Test,
             hot: false,
+            sync_sanctioned: false,
         };
         assert!(rules_fired(src, &test_ctx).is_empty());
     }
@@ -608,6 +660,7 @@ fn f() { let r = rand::thread_rng(); let t = Instant::now(); }\n";
             crate_name: "bench".into(),
             kind: SourceKind::Bin,
             hot: false,
+            sync_sanctioned: false,
         };
         assert!(rules_fired(src, &bin_ctx).is_empty());
         // unwrap_or_else is not unwrap
@@ -661,6 +714,41 @@ fn arm(en: &mut Engine<W>) {\n\
         // rule's business.
         let other = "fn f() { let b = Box::new(5); schedule_later(); }\n";
         assert!(rules_fired(other, &lib_ctx("core")).is_empty());
+    }
+
+    #[test]
+    fn sync_primitive_fires_outside_the_sanctioned_shard_layer() {
+        let src = "\
+use std::sync::{Mutex, RwLock};\n\
+use std::sync::atomic::AtomicU64;\n\
+struct S { m: Mutex<u32>, n: AtomicU64 }\n";
+        assert_eq!(
+            rules_fired(src, &lib_ctx("simcore")),
+            vec![
+                "sync-primitive", // Mutex (use)
+                "sync-primitive", // RwLock (use)
+                "sync-primitive", // AtomicU64 (use)
+                "sync-primitive", // Mutex (field)
+                "sync-primitive", // AtomicU64 (field)
+            ]
+        );
+        // The shard synchronizer is the sanctioned holder of locks.
+        let sanctioned = FileContext {
+            sync_sanctioned: true,
+            ..lib_ctx("simcore")
+        };
+        assert!(rules_fired(src, &sanctioned).is_empty());
+        // from_path marks exactly that one file.
+        assert!(FileContext::from_path("crates/simcore/src/shard.rs").sync_sanctioned);
+        assert!(!FileContext::from_path("crates/simcore/src/metrics.rs").sync_sanctioned);
+        // Outside sim-state crates (harness code) the rule is silent,
+        // as it is in test/bench targets of sim-state crates.
+        assert!(rules_fired(src, &lib_ctx("bench")).is_empty());
+        let test_ctx = FileContext {
+            kind: SourceKind::Test,
+            ..lib_ctx("simcore")
+        };
+        assert!(rules_fired(src, &test_ctx).is_empty());
     }
 
     #[test]

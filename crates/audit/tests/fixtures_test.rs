@@ -50,6 +50,24 @@ fn bad_misc_fixture_exact_diagnostics() {
 }
 
 #[test]
+fn bad_sync_fixture_exact_diagnostics() {
+    assert_eq!(
+        diagnostics("bad_sync.rs", "simcore"),
+        vec![
+            ("sync-primitive", 4, 25),
+            ("sync-primitive", 5, 17),
+            ("sync-primitive", 5, 24),
+            ("sync-primitive", 8, 12),
+            ("sync-primitive", 9, 12),
+            ("sync-primitive", 10, 11),
+        ]
+    );
+    // Outside the sim-state crate list (harness code) the rule is
+    // silent.
+    assert_eq!(diagnostics("bad_sync.rs", "bench"), vec![]);
+}
+
+#[test]
 fn good_fixture_is_clean() {
     assert_eq!(diagnostics("good.rs", "sched"), vec![]);
 }

@@ -22,6 +22,7 @@
 use std::time::Instant;
 
 use gridvm_bench::harness::{self, m, Experiment, Measurement, Options, SampleCtx, Scenario};
+use gridvm_core::multisite::{build_vo, VoConfig};
 use gridvm_simcore::engine::Engine;
 use gridvm_simcore::event::EventQueue;
 use gridvm_simcore::lru::LruSet;
@@ -38,7 +39,7 @@ use gridvm_vnet::overlay::{NodeId, Overlay};
 struct Baseline;
 
 /// Scenario labels; `run_sample` dispatches on index.
-const SCENARIOS: [&str; 8] = [
+const SCENARIOS: [&str; 10] = [
     "engine: chained events",
     "queue: push+pop random times",
     "queue: push/cancel/drain mix",
@@ -47,6 +48,8 @@ const SCENARIOS: [&str; 8] = [
     "overlay: routed packet churn",
     "cache: buffer-cache insert churn",
     "slot: insert/remove/get churn",
+    "shard: cross-shard mailbox churn",
+    "shard: 4-site speedup 1 vs 4 shards",
 ];
 
 /// Events/operations per sample at full size (quick mode divides by
@@ -236,6 +239,68 @@ impl Experiment for Baseline {
                 assert!(sum != 1, "keep the loop observable");
                 (n, started.elapsed())
             }
+            8 => {
+                // The conservative synchronizer under a hop-heavy VO:
+                // 6 sites trading sessions at a 40% hop rate, run at 4
+                // shards on 1 worker thread — mailbox drain, window
+                // accounting and barrier turnover dominate, which is
+                // exactly the overhead this scenario gates.
+                let cfg = VoConfig {
+                    sites: 6,
+                    sessions_per_site: 8,
+                    steps_per_session: (n / 48).max(4) as u32,
+                    hop_per_mille: 400,
+                    crash_per_mille: 10,
+                    seed: rng.next_u64(),
+                    ..VoConfig::paper_vo()
+                };
+                let started = Instant::now();
+                let mut sim = build_vo(&cfg).shards(4).threads(1);
+                sim.run();
+                assert!(sim.messages() > 0, "hops must cross shard boundaries");
+                (sim.total_events(), started.elapsed())
+            }
+            9 => {
+                // The acceptance scenario: a 4-site VO with >=100k
+                // events per site at full size, executed at 1 shard
+                // and again at 4 shards. The digests must agree
+                // bit-for-bit; the sample records the 4-shard
+                // throughput plus two speedup measurements — the
+                // honest wall-clock ratio on this machine and the
+                // machine-independent critical-path model ratio
+                // (sum/max of per-shard window work).
+                let cfg = VoConfig {
+                    sites: 4,
+                    sessions_per_site: 50,
+                    steps_per_session: (n / 50).max(4) as u32,
+                    hop_per_mille: 30,
+                    crash_per_mille: 10,
+                    work_draws: 16,
+                    seed: rng.next_u64(),
+                    ..VoConfig::paper_vo()
+                };
+                let started1 = Instant::now();
+                let mut one = build_vo(&cfg).shards(1).threads(1);
+                one.run();
+                let wall1 = started1.elapsed();
+                let started4 = Instant::now();
+                let mut four = build_vo(&cfg).shards(4).threads(0);
+                four.run();
+                let wall4 = started4.elapsed();
+                assert_eq!(
+                    one.trace_digest(),
+                    four.trace_digest(),
+                    "shard count changed the history"
+                );
+                assert_eq!(one.total_events(), four.total_events());
+                let secs4 = wall4.as_secs_f64().max(1e-9);
+                return vec![
+                    m("ops_per_sec", four.total_events() as f64 / secs4),
+                    m("wall_us", secs4 * 1e6),
+                    m("speedup_wall_x", wall1.as_secs_f64().max(1e-9) / secs4),
+                    m("speedup_model_x", four.model_speedup()),
+                ];
+            }
             other => unreachable!("unknown scenario {other}"),
         };
         let secs = elapsed.as_secs_f64().max(1e-9);
@@ -247,11 +312,19 @@ impl Experiment for Baseline {
 
     fn epilogue(&self, report: &harness::ExperimentReport, _opts: &Options) -> Option<String> {
         let engine = report.scenario(SCENARIOS[0])?;
-        Some(format!(
+        let mut line = format!(
             "headline: event throughput {:.0} events/sec (engine chained-event loop, mean of {} samples)",
             engine.mean("ops_per_sec"),
             engine.stats("ops_per_sec").map(|s| s.count()).unwrap_or(0),
-        ))
+        );
+        if let Some(shard) = report.scenario(SCENARIOS[9]) {
+            line.push_str(&format!(
+                "\nshard speedup at 4 shards: {:.2}x wall on this machine, {:.2}x critical-path model",
+                shard.mean("speedup_wall_x"),
+                shard.mean("speedup_model_x"),
+            ));
+        }
+        Some(line)
     }
 }
 

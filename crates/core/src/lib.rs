@@ -32,12 +32,18 @@
 //!   [`FaultPlan`](gridvm_simcore::fault::FaultPlan), where a host
 //!   crash triggers suspend-from-checkpoint, transfer and resume on
 //!   a surviving host (Section 3.1 fault tolerance).
+//! * [`multisite`] — the virtual-organization macro-scenario: many
+//!   concurrent sessions per site hopping across inter-site links and
+//!   recovering from crashes, run over the sharded conservative
+//!   simulator ([`gridvm_simcore::shard`]) with bit-identical results
+//!   at any shard/thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod frontend;
 pub mod migration;
+pub mod multisite;
 pub mod nfsdisk;
 pub mod recovery;
 pub mod server;
@@ -45,6 +51,7 @@ pub mod session;
 pub mod startup;
 
 pub use frontend::ServiceProvider;
+pub use multisite::{build_vo, VoConfig, VoSite};
 pub use nfsdisk::NfsGuestStorage;
 pub use recovery::{run_resilient_session, ChaosError, ChaosReport, Cluster, RecoveryConfig};
 pub use server::ComputeServer;

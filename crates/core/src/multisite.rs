@@ -1,0 +1,317 @@
+//! Multi-site virtual-organization sessions over the sharded
+//! conservative simulator: grid sessions doing work at their home
+//! site, hopping across inter-site links (migration / remote data
+//! sessions), and recovering from crashes — all routed through the
+//! shard boundaries of [`gridvm_simcore::shard`].
+//!
+//! This is the macro-scenario world the PDES layer exists for: one
+//! simulated virtual organization with many concurrent sessions per
+//! site, where cross-site traffic (a session migrating to a remote
+//! site, in the spirit of Section 3.1's VM migration) flows through
+//! the deterministic per-(src,dst) mailboxes and everything local —
+//! work steps, crash/retry recovery — stays on the site's own event
+//! queue. Results are bit-identical at any shard/thread count; the
+//! shard sweep in `tests/determinism.rs` and the sharded golden trace
+//! pin exactly that.
+//!
+//! ```
+//! use gridvm_core::multisite::{build_vo, VoConfig};
+//!
+//! let cfg = VoConfig { sites: 3, sessions_per_site: 4, steps_per_session: 20, ..VoConfig::paper_vo() };
+//! let mut sim = build_vo(&cfg).shards(3);
+//! sim.run();
+//! let m = sim.merged_metrics();
+//! assert_eq!(m.counter("vo.sessions_completed"), 3 * 4);
+//! ```
+
+use gridvm_simcore::engine::{Engine, Event};
+use gridvm_simcore::metrics;
+use gridvm_simcore::replication::derive_seed_sharded;
+use gridvm_simcore::rng::SimRng;
+use gridvm_simcore::shard::{ShardWorld, ShardedSim, SiteId, SiteState};
+use gridvm_simcore::time::{SimDuration, SimTime};
+use gridvm_vnet::sites::SiteTopology;
+
+/// Shape of one multi-site VO experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VoConfig {
+    /// Number of sites (fully meshed via
+    /// [`SiteTopology::paper_vo`]).
+    pub sites: u32,
+    /// Concurrent sessions started at each site.
+    pub sessions_per_site: u32,
+    /// Work steps each session executes before completing.
+    pub steps_per_session: u32,
+    /// Per-mille probability that a step hops the session to a remote
+    /// site (a cross-shard mailbox message).
+    pub hop_per_mille: u32,
+    /// Per-mille probability that a step crashes and the session
+    /// recovers locally after a retry delay.
+    pub crash_per_mille: u32,
+    /// Nominal spacing between a session's work steps (jittered per
+    /// step by the site's RNG stream).
+    pub step_spacing: SimDuration,
+    /// RNG draws folded per step — the stand-in for scheduler/VMM
+    /// bookkeeping cost, so per-event work is realistic in benches.
+    pub work_draws: u32,
+    /// Master seed; site `i` draws from
+    /// [`derive_seed_sharded`]`(seed, 0, i)`.
+    pub seed: u64,
+}
+
+impl VoConfig {
+    /// The reference configuration: 4 sites, 8 sessions each, 50
+    /// steps per session, 6% hop and 1.5% crash rates, 200 µs step
+    /// spacing, seeded with the paper's publication date.
+    pub fn paper_vo() -> Self {
+        VoConfig {
+            sites: 4,
+            sessions_per_site: 8,
+            steps_per_session: 50,
+            hop_per_mille: 60,
+            crash_per_mille: 15,
+            step_spacing: SimDuration::from_micros(200),
+            work_draws: 8,
+            seed: 20030517,
+        }
+    }
+}
+
+/// A session hopping to a remote site: the cross-shard message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VoMsg {
+    /// Globally unique session id.
+    pub session: u64,
+    /// Work steps the session still owes.
+    pub steps_left: u32,
+}
+
+/// One site's world: its seeded RNG stream, link latencies to every
+/// peer, the session parameters, and tallies.
+#[derive(Debug)]
+pub struct VoSite {
+    rng: SimRng,
+    latency_to: Vec<SimDuration>,
+    peers: u32,
+    hop_per_mille: u32,
+    crash_per_mille: u32,
+    step_spacing: SimDuration,
+    retry_delay: SimDuration,
+    work_draws: u32,
+    /// Sessions that finished at this site.
+    pub completed: u64,
+    /// Sessions this site handed to a remote site.
+    pub hops_out: u64,
+    /// Crash→retry recoveries executed at this site.
+    pub recoveries: u64,
+    /// Fold of every step's work product — keeps the per-step work
+    /// observable (and the whole history digest-comparable).
+    pub checksum: u64,
+}
+
+impl ShardWorld for VoSite {
+    type Msg = VoMsg;
+
+    fn deliver(msg: VoMsg, site: &mut SiteState<Self>, en: &mut Engine<SiteState<Self>>) {
+        metrics::counter_add("vo.hops_in", 1);
+        // The session resumes at its arrival instant on the new home
+        // site's own queue and RNG stream.
+        step([msg.session, u64::from(msg.steps_left)], site, en);
+    }
+}
+
+/// One session work step; `[session, steps_left]` ride in the event's
+/// inline argument words.
+fn step(args: [u64; 2], site: &mut SiteState<VoSite>, en: &mut Engine<SiteState<VoSite>>) {
+    let [session, steps_left] = args;
+    metrics::counter_add("vo.steps", 1);
+    let my_id = site.id().0;
+    let w = &mut site.world;
+    // Deterministic per-step work: the scheduler/VMM bookkeeping this
+    // session would cost, folded so the optimizer cannot drop it.
+    let mut acc = session ^ steps_left;
+    for _ in 0..w.work_draws {
+        acc = acc.rotate_left(7) ^ w.rng.next_u64();
+    }
+    w.checksum ^= acc;
+    if steps_left == 0 {
+        w.completed += 1;
+        metrics::counter_add("vo.sessions_completed", 1);
+        site.trace
+            .record(en.now(), "vo", format!("session {session} completed"));
+        return;
+    }
+    let draw = w.rng.next_below(1000) as u32;
+    if draw < w.hop_per_mille && w.peers > 1 {
+        // Migrate to a uniformly chosen remote site; the arrival time
+        // is one link latency out, which is >= the lookahead by the
+        // topology's construction.
+        let offset = 1 + w.rng.next_below(u64::from(w.peers) - 1) as u32;
+        let dst = SiteId((my_id + offset) % w.peers);
+        let at = en.now() + w.latency_to[dst.index()];
+        w.hops_out += 1;
+        metrics::counter_add("vo.hops", 1);
+        site.send(
+            dst,
+            at,
+            VoMsg {
+                session,
+                steps_left: (steps_left - 1) as u32,
+            },
+        );
+    } else if draw < w.hop_per_mille + w.crash_per_mille {
+        // Crash: the step is lost and retried after the recovery
+        // delay, same site, same remaining work — the self-healing
+        // session semantics of `recovery`, at shard scale.
+        w.recoveries += 1;
+        let delay = w.retry_delay;
+        metrics::counter_add("vo.recoveries", 1);
+        site.trace
+            .record(en.now(), "vo", format!("session {session} recovering"));
+        en.schedule_event_in(delay, Event::Arg2([session, steps_left], step));
+    } else {
+        let jitter = w.rng.next_below(w.step_spacing.as_nanos() / 4 + 1);
+        let delay = w.step_spacing + SimDuration::from_nanos(jitter);
+        en.schedule_event_in(delay, Event::Arg2([session, steps_left - 1], step));
+    }
+}
+
+/// Builds the multi-site VO world over [`SiteTopology::paper_vo`]:
+/// one [`VoSite`] per site with its own derived seed, every session's
+/// first step scheduled, and the lookahead taken from the topology's
+/// minimum link latency. Configure shards/threads on the returned sim
+/// and [`run`](ShardedSim::run) it.
+///
+/// # Panics
+///
+/// Panics when `cfg.sites` is zero.
+pub fn build_vo(cfg: &VoConfig) -> ShardedSim<VoSite> {
+    assert!(cfg.sites > 0, "a VO needs at least one site");
+    let topo = SiteTopology::paper_vo(cfg.sites);
+    let lookahead = topo.lookahead().unwrap_or(SimDuration::from_millis(5));
+    let retry_delay = SimDuration::from_nanos(cfg.step_spacing.as_nanos() * 4);
+    let mut sim = ShardedSim::new(
+        lookahead,
+        (0..cfg.sites).map(|i| VoSite {
+            rng: SimRng::seed_from(derive_seed_sharded(cfg.seed, 0, u64::from(i))),
+            latency_to: (0..cfg.sites)
+                .map(|j| {
+                    if i == j {
+                        SimDuration::ZERO
+                    } else {
+                        topo.latency(SiteId(i), SiteId(j)).expect("paper_vo meshes")
+                    }
+                })
+                .collect(),
+            peers: cfg.sites,
+            hop_per_mille: cfg.hop_per_mille,
+            crash_per_mille: cfg.crash_per_mille,
+            step_spacing: cfg.step_spacing,
+            retry_delay,
+            work_draws: cfg.work_draws,
+            completed: 0,
+            hops_out: 0,
+            recoveries: 0,
+            checksum: 0,
+        }),
+    );
+    for i in 0..cfg.sites as usize {
+        sim.with_site(i, |site, en| {
+            for k in 0..cfg.sessions_per_site {
+                let session =
+                    u64::from(site.id().0) * u64::from(cfg.sessions_per_site) + u64::from(k);
+                // Stagger session starts across one spacing interval
+                // so same-instant pileups don't mask ordering bugs.
+                let start = site
+                    .world
+                    .rng
+                    .next_below(cfg.step_spacing.as_nanos().max(1));
+                en.schedule_event_at(
+                    SimTime::ZERO + SimDuration::from_nanos(start),
+                    Event::Arg2([session, u64::from(cfg.steps_per_session)], step),
+                );
+            }
+        });
+    }
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> VoConfig {
+        VoConfig {
+            sites: 3,
+            sessions_per_site: 4,
+            steps_per_session: 25,
+            ..VoConfig::paper_vo()
+        }
+    }
+
+    #[test]
+    fn every_session_completes_exactly_once() {
+        let cfg = small();
+        let mut sim = build_vo(&cfg);
+        metrics::reset();
+        sim.run();
+        metrics::reset();
+        let m = sim.merged_metrics();
+        assert_eq!(
+            m.counter("vo.sessions_completed"),
+            u64::from(cfg.sites * cfg.sessions_per_site)
+        );
+        assert_eq!(
+            m.counter("vo.hops"),
+            m.counter("vo.hops_in"),
+            "no lost hops"
+        );
+        assert_eq!(m.counter("vo.hops"), sim.messages());
+        assert!(m.counter("vo.recoveries") > 0, "seeded crashes occurred");
+        let completed: u64 = (0..3)
+            .map(|i| sim.with_site(i, |s, _| s.world.completed))
+            .sum();
+        assert_eq!(completed, u64::from(cfg.sites * cfg.sessions_per_site));
+    }
+
+    #[test]
+    fn shard_and_thread_packing_do_not_change_the_world() {
+        let run = |shards: usize, threads: usize| {
+            let mut sim = build_vo(&small()).shards(shards).threads(threads);
+            metrics::reset();
+            sim.run();
+            metrics::reset();
+            let checksums: Vec<u64> = (0..3)
+                .map(|i| sim.with_site(i, |s, _| s.world.checksum))
+                .collect();
+            (sim.trace_digest(), sim.merged_metrics(), checksums)
+        };
+        let want = run(1, 1);
+        for (shards, threads) in [(2, 1), (3, 2), (3, 3), (8, 4)] {
+            assert_eq!(
+                run(shards, threads),
+                want,
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn recoveries_retry_with_delay_and_still_complete() {
+        // Crank the crash rate: sessions must still all finish, later.
+        let mut cfg = small();
+        cfg.crash_per_mille = 300;
+        cfg.hop_per_mille = 0;
+        let mut sim = build_vo(&cfg);
+        metrics::reset();
+        sim.run();
+        metrics::reset();
+        let m = sim.merged_metrics();
+        assert_eq!(
+            m.counter("vo.sessions_completed"),
+            u64::from(cfg.sites * cfg.sessions_per_site)
+        );
+        assert_eq!(sim.messages(), 0, "hops disabled");
+        assert!(m.counter("vo.recoveries") > 50);
+    }
+}

@@ -35,8 +35,10 @@ static EVENTS_EXECUTED: Counter = Counter::new("sim.events_executed");
 static EVENTS_BOXED: Counter = Counter::new("sim.events_boxed");
 
 /// A boxed event handler: the fallback representation for closures
-/// whose captures do not fit an [`Event`]'s inline variants.
-pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+/// whose captures do not fit an [`Event`]'s inline variants. `Send`
+/// so an engine (and its pending events) can migrate between the
+/// worker threads of a [`crate::shard::ShardedSim`] window.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>) + Send>;
 
 /// A schedulable event: the handler plus up to two machine words of
 /// inline state, stored directly in the event queue's arena.
@@ -87,7 +89,7 @@ impl<W> std::fmt::Debug for Event<W> {
 /// a zero-sized closure performs no allocation).
 fn boxed_event<W, F>(f: F) -> Event<W>
 where
-    F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    F: FnOnce(&mut W, &mut Engine<W>) + Send + 'static,
 {
     if std::mem::size_of::<F>() > 0 {
         EVENTS_BOXED.add(1);
@@ -187,7 +189,7 @@ impl<W> Engine<W> {
     /// Panics if `at` is before the current clock.
     pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
     where
-        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+        F: FnOnce(&mut W, &mut Engine<W>) + Send + 'static,
     {
         self.schedule_event_at(at, boxed_event(f))
     }
@@ -198,7 +200,7 @@ impl<W> Engine<W> {
     /// [`schedule_at`](Engine::schedule_at).
     pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F) -> EventId
     where
-        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+        F: FnOnce(&mut W, &mut Engine<W>) + Send + 'static,
     {
         self.schedule_event_in(delay, boxed_event(f))
     }
@@ -210,7 +212,7 @@ impl<W> Engine<W> {
     /// [`schedule_at`](Engine::schedule_at).
     pub fn schedule_now<F>(&mut self, f: F) -> EventId
     where
-        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+        F: FnOnce(&mut W, &mut Engine<W>) + Send + 'static,
     {
         self.schedule_event_now(boxed_event(f))
     }
@@ -356,6 +358,40 @@ impl<W> Engine<W> {
         if self.clock < deadline {
             self.clock = deadline;
         }
+    }
+
+    /// Runs every event strictly before `bound`, leaving the clock at
+    /// the last executed event (or untouched when nothing ran) — the
+    /// window-execution primitive of the conservative synchronizer in
+    /// [`crate::shard`]. Unlike [`run_until`](Engine::run_until), the
+    /// bound itself is *exclusive* and the clock is **not** bumped to
+    /// it: an event delivered exactly at the bound (the next window's
+    /// horizon) must still be schedulable, and schedule-time causality
+    /// checks compare against the clock.
+    ///
+    /// Returns how many events ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is [`SimTime::ZERO`]: an empty window is
+    /// always a synchronizer bug.
+    pub fn run_before(&mut self, world: &mut W, bound: SimTime) -> u64 {
+        assert!(bound > SimTime::ZERO, "run_before: empty window");
+        // Exclusive bound over integer nanoseconds: everything up to
+        // and including `bound - 1ns`.
+        self.horizon = Some(bound - SimDuration::from_nanos(1));
+        let before = self.executed;
+        while self.step(world) {}
+        EVENTS_EXECUTED.add(self.executed - before);
+        self.horizon = None;
+        self.executed - before
+    }
+
+    /// Time of the earliest pending event without popping it, if any —
+    /// what the conservative synchronizer folds into the global
+    /// safe-advance minimum.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.earliest_time()
     }
 
     /// Runs at most `max_events` events; returns how many ran.
@@ -513,6 +549,24 @@ mod tests {
         en.schedule_at(secs(3), |w: &mut W, _| w.log.push((3, "at")));
         en.run_until(&mut w, secs(3));
         assert_eq!(w.log.len(), 1);
+    }
+
+    #[test]
+    fn run_before_excludes_bound_and_leaves_clock() {
+        let mut en: Engine<W> = Engine::new();
+        let mut w = W::default();
+        en.schedule_at(secs(1), |w: &mut W, _| w.log.push((1, "in")));
+        en.schedule_at(secs(3), |w: &mut W, _| w.log.push((3, "at-bound")));
+        assert_eq!(en.next_event_time(), Some(secs(1)));
+        assert_eq!(en.run_before(&mut w, secs(3)), 1, "bound is exclusive");
+        assert_eq!(en.now(), secs(1), "clock stays at the last event");
+        assert_eq!(en.next_event_time(), Some(secs(3)));
+        // An event landing exactly at the previous bound is legal.
+        en.schedule_at(secs(3), |w: &mut W, _| w.log.push((3, "delivered")));
+        assert_eq!(en.run_before(&mut w, secs(4)), 2);
+        let names: Vec<&str> = w.log.iter().map(|(_, n)| *n).collect();
+        assert_eq!(names, vec!["in", "at-bound", "delivered"]);
+        assert_eq!(en.next_event_time(), None);
     }
 
     #[test]

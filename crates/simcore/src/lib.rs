@@ -47,6 +47,11 @@
 //! * [`replication`] — the [`ReplicationRunner`], which fans N
 //!   independent replications across OS threads while keeping results
 //!   bit-identical for any thread count.
+//! * [`shard`] — conservative parallel simulation *within* one
+//!   replication: per-site event queues synchronized by a lookahead
+//!   barrier protocol ([`shard::ShardedSim`]), with cross-site sends
+//!   through deterministic mailboxes — results bit-identical at any
+//!   shard/thread count.
 //! * [`server`] — analytic FIFO/processor-sharing service primitives
 //!   used to model disks, links and RPC endpoints without spawning an
 //!   event per byte.
@@ -85,6 +90,7 @@ pub mod metrics;
 pub mod replication;
 pub mod rng;
 pub mod server;
+pub mod shard;
 pub mod slot;
 pub mod stats;
 pub mod time;
@@ -97,6 +103,7 @@ pub use lru::LruSet;
 pub use metrics::Metrics;
 pub use replication::{ReplicationCtx, ReplicationRunner};
 pub use rng::SimRng;
+pub use shard::{ShardWorld, ShardedSim, SiteId, SiteState};
 pub use stats::OnlineStats;
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, ByteSize, CpuWork, Share};

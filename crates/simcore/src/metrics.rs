@@ -307,6 +307,15 @@ pub fn with_current<R>(f: impl FnOnce(&Metrics) -> R) -> R {
     })
 }
 
+/// Folds a harvested registry back into this thread's context — the
+/// inverse of [`take`]. The sharded simulator uses this to restore a
+/// caller's ambient context and then fold per-site registries in site
+/// order, so a run's merged metrics land in whatever context invoked
+/// it (a replication, a test, a bench sample).
+pub fn merge_current(m: &Metrics) {
+    CONTEXT.with(|c| c.borrow_mut().merge(m));
+}
+
 /// Adds `delta` to a counter in this thread's context.
 pub fn counter_add(name: &'static str, delta: u64) {
     CONTEXT.with(|c| c.borrow_mut().counter_add(name, delta));
@@ -433,6 +442,17 @@ mod tests {
         A.add(1);
         B.add(2);
         assert_eq!(take().counter("handle.dup"), 3);
+    }
+
+    #[test]
+    fn merge_current_restores_a_taken_context() {
+        reset();
+        counter_add("mc.count", 2);
+        let snapshot = take();
+        with_current(|m| assert!(m.is_empty()));
+        merge_current(&snapshot);
+        counter_add("mc.count", 1);
+        assert_eq!(take().counter("mc.count"), 3);
     }
 
     #[test]

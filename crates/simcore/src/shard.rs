@@ -1,0 +1,794 @@
+//! Sharded conservative parallel simulation: per-site event queues
+//! synchronized by a lookahead barrier protocol.
+//!
+//! The paper's target is a *grid* — many administrative sites, each
+//! dynamically instantiating VMs, separated by wide-area links. That
+//! topology is exactly what a conservative parallel discrete-event
+//! simulation needs: cross-site interactions ride
+//! [`NetLink`](https://docs.rs)-style links whose propagation latency
+//! bounds how soon one site can affect another. The minimum inter-site
+//! latency is the **lookahead**: if every cross-site message sent at
+//! time `t` arrives no earlier than `t + lookahead`, then all sites
+//! can execute independently up to `t_min + lookahead` (where `t_min`
+//! is the global earliest pending event) without ever receiving a
+//! message from the past.
+//!
+//! ## The window protocol
+//!
+//! A [`ShardedSim`] owns one [`SiteRuntime`] per site — its own
+//! [`Engine`] (event queue), world state, [`TraceLog`] segment,
+//! [`Metrics`] registry and (by caller convention) seeded RNG stream.
+//! `run` repeats:
+//!
+//! 1. **Drain mailboxes** in fixed site-id order: every pending
+//!    cross-site message is scheduled into its destination engine.
+//!    A message timestamped before the previous window's horizon is a
+//!    *lookahead violation* and panics — it could only exist if a
+//!    caller sent "faster than light", i.e. below the declared
+//!    minimum link latency.
+//! 2. **Compute the horizon** `t_min + lookahead` from the global
+//!    earliest pending event.
+//! 3. **Execute the window**: each site runs every local event
+//!    strictly before the horizon ([`Engine::run_before`]). Sites are
+//!    grouped into `shards` by `site_id % shards`, and shards are
+//!    claimed by worker threads off an atomic cursor.
+//! 4. **Barrier**, then repeat until no events remain anywhere.
+//!
+//! ## Why results are bit-identical at any shard/thread count
+//!
+//! The protocol's unit is the **site**, not the shard: the drain
+//! order (site id), the horizon (a global minimum) and each site's
+//! intra-window execution (its engine's `(time, seq)` order over
+//! purely local state) are all independent of how sites are packed
+//! into shards or shards onto threads. Shards and threads only decide
+//! *which OS thread* runs a site's window — never what the window
+//! computes. Traces live per site and digest in site order; metrics
+//! are harvested per site-window into per-site registries and merged
+//! in site order; the caller's ambient metrics context is saved
+//! before the run and restored (then folded) after. A 1-shard,
+//! 1-thread run executes the identical windowed schedule, just
+//! without worker threads.
+//!
+//! The cross-thread primitives this module uses (`Mutex`, `Barrier`,
+//! atomics) are sanctioned *here only* — the `sync-primitive` audit
+//! rule flags them anywhere else in sim-state code, because ad-hoc
+//! cross-thread coordination is how scheduling order leaks into
+//! results.
+//!
+//! ```
+//! use gridvm_simcore::shard::{ShardWorld, ShardedSim, SiteId, SiteState};
+//! use gridvm_simcore::engine::Engine;
+//! use gridvm_simcore::time::{SimDuration, SimTime};
+//!
+//! struct Counter { received: u64 }
+//! impl ShardWorld for Counter {
+//!     type Msg = u64;
+//!     fn deliver(msg: u64, site: &mut SiteState<Self>, _: &mut Engine<SiteState<Self>>) {
+//!         site.world.received += msg;
+//!     }
+//! }
+//!
+//! let lookahead = SimDuration::from_millis(5);
+//! let mut sim = ShardedSim::new(lookahead, (0..2).map(|_| Counter { received: 0 }));
+//! sim.with_site(0, |_, en| {
+//!     en.schedule_at(SimTime::ZERO, move |site: &mut SiteState<Counter>, en| {
+//!         site.send(SiteId(1), en.now() + SimDuration::from_millis(5), 7);
+//!     });
+//! });
+//! sim.run();
+//! assert_eq!(sim.with_site(1, |site, _| site.world.received), 7);
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::engine::Engine;
+use crate::metrics::{self, Metrics};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceLog;
+
+/// Identifies one site — the unit of the conservative protocol and
+/// the owner of one event queue, trace segment and RNG stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(
+    /// Zero-based site index.
+    pub u32,
+);
+
+impl SiteId {
+    /// The site index as a `usize`, for indexing site tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// A per-site world that can run under a [`ShardedSim`].
+///
+/// `Send` because a site (engine, world, pending events) migrates
+/// between the coordinator and worker threads at window boundaries;
+/// the protocol guarantees exclusive access within a window.
+pub trait ShardWorld: Send + Sized + 'static {
+    /// Cross-site message payload, moved through the per-(src,dst)
+    /// mailboxes.
+    type Msg: Send + 'static;
+
+    /// Applies one delivered message at its arrival instant. Runs as
+    /// an ordinary event on the destination site's engine, so it may
+    /// schedule follow-ups and send further messages.
+    fn deliver(msg: Self::Msg, site: &mut SiteState<Self>, en: &mut Engine<SiteState<Self>>);
+}
+
+/// The world type each site's [`Engine`] executes over: the caller's
+/// per-site state plus the site's identity, trace segment and
+/// outbound mailbox.
+pub struct SiteState<W: ShardWorld> {
+    id: SiteId,
+    /// The caller's per-site world state.
+    pub world: W,
+    /// This site's trace segment. Digested in site-id order by
+    /// [`ShardedSim::trace_digest`].
+    pub trace: TraceLog,
+    outbox: Vec<(SiteId, SimTime, W::Msg)>,
+}
+
+impl<W: ShardWorld> SiteState<W> {
+    /// This site's identity.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// Queues a cross-site message for delivery at the absolute
+    /// instant `at`. The message is moved into the destination's
+    /// engine at the next barrier; `at` must be at least one lookahead
+    /// past the window it was sent in (guaranteed when `at` is
+    /// `now + link_latency` and the lookahead is the minimum link
+    /// latency) or the drain panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-send: local follow-ups are ordinary scheduled
+    /// events, not mailbox traffic, and are not subject to lookahead.
+    pub fn send(&mut self, dst: SiteId, at: SimTime, msg: W::Msg) {
+        assert!(
+            dst != self.id,
+            "{}: self-send through the mailbox; schedule a local event instead",
+            self.id
+        );
+        self.outbox.push((dst, at, msg));
+    }
+}
+
+/// One site's execution state: its engine, world, harvested metrics
+/// and the event count of the window just executed.
+struct SiteRuntime<W: ShardWorld> {
+    en: Engine<SiteState<W>>,
+    state: SiteState<W>,
+    metrics: Metrics,
+    window_events: u64,
+}
+
+/// A conservatively synchronized multi-site simulation.
+///
+/// Results — traces, metrics, digests — are bit-identical for every
+/// shard and thread count; see the [module docs](self) for the
+/// argument.
+pub struct ShardedSim<W: ShardWorld> {
+    sites: Vec<Mutex<SiteRuntime<W>>>,
+    lookahead: SimDuration,
+    shards: usize,
+    threads: usize,
+    windows: u64,
+    messages: u64,
+    total_events: u64,
+    critical_events: u64,
+    coord: Metrics,
+    ran: bool,
+}
+
+impl<W: ShardWorld> ShardedSim<W> {
+    /// Creates a sharded simulation over one world per site, with the
+    /// given lookahead (the minimum cross-site link latency; see
+    /// `SiteTopology::lookahead` in `gridvm-vnet`). Defaults to one
+    /// shard and one thread — the same protocol, serially.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero lookahead: the conservative synchronizer
+    /// would have no safe-advance window.
+    pub fn new(lookahead: SimDuration, worlds: impl IntoIterator<Item = W>) -> Self {
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "zero lookahead leaves the conservative synchronizer no safe-advance window"
+        );
+        let sites = worlds
+            .into_iter()
+            .enumerate()
+            .map(|(i, world)| {
+                Mutex::new(SiteRuntime {
+                    en: Engine::new(),
+                    state: SiteState {
+                        id: SiteId(i as u32),
+                        world,
+                        trace: TraceLog::default(),
+                        outbox: Vec::new(),
+                    },
+                    metrics: Metrics::new(),
+                    window_events: 0,
+                })
+            })
+            .collect();
+        ShardedSim {
+            sites,
+            lookahead,
+            shards: 1,
+            threads: 1,
+            windows: 0,
+            messages: 0,
+            total_events: 0,
+            critical_events: 0,
+            coord: Metrics::new(),
+            ran: false,
+        }
+    }
+
+    /// Sets the shard count: sites are grouped by `site_id % shards`
+    /// for window execution and critical-path accounting. Does not
+    /// affect results.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the worker-thread count; `0` means one per available
+    /// core. Clamped to the shard count at run time. Does not affect
+    /// results.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The configured lookahead.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Runs `f` with exclusive access to one site's state and engine
+    /// — how callers seed initial events before [`run`](Self::run)
+    /// and inspect per-site results after it.
+    pub fn with_site<R>(
+        &mut self,
+        site: usize,
+        f: impl FnOnce(&mut SiteState<W>, &mut Engine<SiteState<W>>) -> R,
+    ) -> R {
+        let rt = self.sites[site].get_mut().expect("site lock poisoned");
+        f(&mut rt.state, &mut rt.en)
+    }
+
+    /// Barrier windows executed.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Cross-site messages delivered through the mailboxes.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Events executed across all sites.
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Sum over windows of the busiest shard's event count — the
+    /// event-parallel critical path at the configured shard count.
+    pub fn critical_path_events(&self) -> u64 {
+        self.critical_events
+    }
+
+    /// The deterministic, machine-independent parallel-efficiency
+    /// model: total events over critical-path events. This is the
+    /// speedup an ideal `shards`-way execution of the recorded
+    /// window schedule achieves when per-event cost dominates; wall
+    /// clock on a given machine approaches it as cores allow.
+    pub fn model_speedup(&self) -> f64 {
+        if self.critical_events == 0 {
+            return 1.0;
+        }
+        self.total_events as f64 / self.critical_events as f64
+    }
+
+    /// FNV-1a digest over every site's trace digest, in site-id order
+    /// — the sharded golden-trace anchor.
+    pub fn trace_digest(&mut self) -> u64 {
+        let mut h = crate::fault::Fnv::new();
+        for site in &mut self.sites {
+            let rt = site.get_mut().expect("site lock poisoned");
+            h.mix(&u64::from(rt.state.id.0).to_le_bytes());
+            h.mix(&rt.state.trace.digest().to_le_bytes());
+        }
+        h.finish()
+    }
+
+    /// Coordinator metrics (`shard.windows`, `shard.messages`, drain
+    /// scheduling) merged with every site's registry in site-id
+    /// order.
+    pub fn merged_metrics(&mut self) -> Metrics {
+        let mut m = self.coord.clone();
+        for site in &mut self.sites {
+            let rt = site.get_mut().expect("site lock poisoned");
+            m.merge(&rt.metrics);
+        }
+        m
+    }
+
+    /// Runs the windowed protocol to completion: until no site has a
+    /// pending event and every mailbox is empty.
+    ///
+    /// The caller's thread-local [`metrics`] context is saved before
+    /// the run and restored afterwards with the run's coordinator and
+    /// per-site registries folded in (site-id order) — so a sharded
+    /// run composes with [`crate::replication::ReplicationRunner`]
+    /// harvesting like any other simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a second call (a sharded world runs to completion
+    /// exactly once) and on lookahead violations — a cross-site
+    /// message timestamped inside an already-executed window.
+    pub fn run(&mut self) {
+        assert!(!self.ran, "ShardedSim::run is single-shot");
+        self.ran = true;
+        if self.sites.is_empty() {
+            return;
+        }
+        let ambient = metrics::take();
+        let shards = self.shards.min(self.sites.len());
+        let threads = self.threads.min(shards);
+        if threads <= 1 {
+            self.run_loop_serial(shards);
+        } else {
+            self.run_loop_parallel(shards, threads);
+        }
+        self.coord.counter_add("shard.windows", self.windows);
+        self.coord.counter_add("shard.messages", self.messages);
+        metrics::merge_current(&ambient);
+        metrics::merge_current(&self.coord);
+        for site in &mut self.sites {
+            let rt = site.get_mut().expect("site lock poisoned");
+            metrics::merge_current(&rt.metrics);
+        }
+    }
+
+    /// The protocol on the caller's thread: identical window schedule,
+    /// no worker threads to pay for.
+    fn run_loop_serial(&mut self, shards: usize) {
+        let mut safe = SimTime::ZERO;
+        loop {
+            self.messages += drain_segment(&mut self.coord, &self.sites, safe);
+            let Some(t_min) = earliest(&self.sites) else {
+                break;
+            };
+            let horizon = t_min + self.lookahead;
+            let mut per_shard = vec![0u64; shards];
+            for (i, site) in self.sites.iter().enumerate() {
+                let mut rt = site.lock().expect("site lock poisoned");
+                per_shard[i % shards] += run_site_window(&mut rt, horizon);
+            }
+            self.account(&per_shard);
+            safe = horizon;
+        }
+    }
+
+    /// The protocol with a persistent worker pool: the coordinator
+    /// drains mailboxes and computes horizons; workers claim shards
+    /// off an atomic cursor each window. Which thread runs a site
+    /// never affects what the site computes.
+    fn run_loop_parallel(&mut self, shards: usize, threads: usize) {
+        let lookahead = self.lookahead;
+        let sites = &self.sites;
+        let horizon_nanos = AtomicU64::new(0);
+        let running = AtomicBool::new(true);
+        let cursor = AtomicUsize::new(0);
+        let barrier = Barrier::new(threads + 1);
+        let mut windows = 0u64;
+        let mut messages = 0u64;
+        let mut coord = Metrics::new();
+        let mut per_window = Vec::new();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    barrier.wait();
+                    if !running.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let horizon = SimTime::from_nanos(horizon_nanos.load(Ordering::Acquire));
+                    loop {
+                        let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                        if shard >= shards {
+                            break;
+                        }
+                        let mut i = shard;
+                        while i < sites.len() {
+                            let mut rt = sites[i].lock().expect("site lock poisoned");
+                            rt.window_events = run_site_window(&mut rt, horizon);
+                            i += shards;
+                        }
+                    }
+                    barrier.wait();
+                });
+            }
+            let mut safe = SimTime::ZERO;
+            loop {
+                messages += drain_segment(&mut coord, sites, safe);
+                let Some(t_min) = earliest(sites) else {
+                    break;
+                };
+                let horizon = t_min + lookahead;
+                horizon_nanos.store(horizon.as_nanos(), Ordering::Release);
+                cursor.store(0, Ordering::Relaxed);
+                barrier.wait(); // open the window
+                barrier.wait(); // every site has executed
+                let mut per_shard = vec![0u64; shards];
+                for (i, site) in sites.iter().enumerate() {
+                    let mut rt = site.lock().expect("site lock poisoned");
+                    per_shard[i % shards] += rt.window_events;
+                    rt.window_events = 0;
+                }
+                per_window.push(per_shard);
+                windows += 1;
+                safe = horizon;
+            }
+            running.store(false, Ordering::Release);
+            barrier.wait(); // release workers into the exit check
+        });
+        self.windows += windows;
+        self.messages += messages;
+        self.coord.merge(&coord);
+        for per_shard in &per_window {
+            self.account_counts(per_shard);
+        }
+    }
+
+    fn account(&mut self, per_shard: &[u64]) {
+        self.windows += 1;
+        self.account_counts(per_shard);
+    }
+
+    fn account_counts(&mut self, per_shard: &[u64]) {
+        self.total_events += per_shard.iter().sum::<u64>();
+        self.critical_events += per_shard.iter().max().copied().unwrap_or(0);
+    }
+}
+
+impl<W: ShardWorld> fmt::Debug for ShardedSim<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedSim")
+            .field("sites", &self.sites.len())
+            .field("lookahead", &self.lookahead)
+            .field("shards", &self.shards)
+            .field("threads", &self.threads)
+            .field("windows", &self.windows)
+            .finish()
+    }
+}
+
+/// Moves every queued cross-site message into its destination engine,
+/// in (source site, send order) order — the fixed merge order the
+/// determinism contract relies on. Returns how many were delivered.
+///
+/// The coordinator's metrics activity (message-event scheduling) is
+/// captured into `coord` so the window executions' per-site contexts
+/// never mix with it.
+fn drain_segment<W: ShardWorld>(
+    coord: &mut Metrics,
+    sites: &[Mutex<SiteRuntime<W>>],
+    safe: SimTime,
+) -> u64 {
+    metrics::reset_presized();
+    let mut delivered = 0u64;
+    for src in 0..sites.len() {
+        let outbox = {
+            let mut rt = sites[src].lock().expect("site lock poisoned");
+            std::mem::take(&mut rt.state.outbox)
+        };
+        for (dst, at, msg) in outbox {
+            assert!(
+                at >= safe,
+                "lookahead violation: site{src} sent a message for {at}, inside the \
+                 already-executed window ending at {safe}; cross-site sends must be at \
+                 least one lookahead (the minimum link latency) in the future"
+            );
+            let mut rt = sites[dst.index()].lock().expect("site lock poisoned");
+            rt.en
+                .schedule_at(at, move |state: &mut SiteState<W>, en: &mut Engine<_>| {
+                    W::deliver(msg, state, en);
+                });
+            delivered += 1;
+        }
+    }
+    coord.merge(&metrics::take());
+    delivered
+}
+
+/// Global earliest pending event time across all sites.
+fn earliest<W: ShardWorld>(sites: &[Mutex<SiteRuntime<W>>]) -> Option<SimTime> {
+    let mut min: Option<SimTime> = None;
+    for site in sites {
+        let rt = site.lock().expect("site lock poisoned");
+        if let Some(t) = rt.en.next_event_time() {
+            min = Some(min.map_or(t, |m| m.min(t)));
+        }
+    }
+    min
+}
+
+/// Executes one site's share of a window — every local event strictly
+/// before `horizon` — against a fresh thread-local metrics context,
+/// harvested into the site's own registry. Returns how many events
+/// ran.
+fn run_site_window<W: ShardWorld>(rt: &mut SiteRuntime<W>, horizon: SimTime) -> u64 {
+    if rt.en.next_event_time().is_none_or(|t| t >= horizon) {
+        return 0;
+    }
+    metrics::reset_presized();
+    let ran = rt.en.run_before(&mut rt.state, horizon);
+    let harvested = metrics::take();
+    rt.metrics.merge(&harvested);
+    ran
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replication::derive_seed_sharded;
+    use crate::rng::SimRng;
+
+    const LAT: SimDuration = SimDuration::from_millis(5);
+
+    struct PingWorld {
+        rng: SimRng,
+        peers: u32,
+        received: u64,
+    }
+
+    impl ShardWorld for PingWorld {
+        type Msg = u64;
+        fn deliver(msg: u64, site: &mut SiteState<Self>, en: &mut Engine<SiteState<Self>>) {
+            site.world.received += 1;
+            metrics::counter_add("ping.received", 1);
+            site.trace
+                .record(en.now(), "ping", format!("got token {msg}"));
+        }
+    }
+
+    fn tick(left: u64, site: &mut SiteState<PingWorld>, en: &mut Engine<SiteState<PingWorld>>) {
+        metrics::counter_add("ping.ticks", 1);
+        let jitter = site.world.rng.next_below(400);
+        if left.is_multiple_of(3) {
+            let dst = SiteId((site.id().0 + 1) % site.world.peers);
+            site.send(dst, en.now() + LAT, left);
+        }
+        if left > 0 {
+            en.schedule_arg_in(SimDuration::from_micros(800 + jitter), left - 1, tick);
+        } else {
+            site.trace
+                .record(en.now(), "ping", format!("{} drained", site.id()));
+        }
+    }
+
+    fn build(n: u32, ticks: u64) -> ShardedSim<PingWorld> {
+        let mut sim = ShardedSim::new(
+            LAT,
+            (0..n).map(|i| PingWorld {
+                rng: SimRng::seed_from(derive_seed_sharded(0xabad_5eed, 0, u64::from(i))),
+                peers: n,
+                received: 0,
+            }),
+        );
+        for i in 0..n as usize {
+            sim.with_site(i, |site, en| {
+                let offset = SimDuration::from_micros(100 + 37 * u64::from(site.id().0));
+                en.schedule_event_at(
+                    SimTime::ZERO + offset,
+                    crate::engine::Event::Arg(ticks, tick),
+                );
+            });
+        }
+        sim
+    }
+
+    fn fingerprint(mut sim: ShardedSim<PingWorld>) -> (u64, u64, u64, u64, Metrics) {
+        metrics::reset();
+        sim.run();
+        metrics::reset();
+        (
+            sim.trace_digest(),
+            sim.windows(),
+            sim.messages(),
+            sim.total_events(),
+            sim.merged_metrics(),
+        )
+    }
+
+    #[test]
+    fn results_are_invariant_across_shard_and_thread_counts() {
+        let want = fingerprint(build(5, 40));
+        assert!(want.1 > 1, "protocol actually windowed: {} windows", want.1);
+        assert!(want.2 > 0, "messages flowed");
+        for shards in [1usize, 2, 4, 8] {
+            for threads in [1usize, 4] {
+                let got = fingerprint(build(5, 40).shards(shards).threads(threads));
+                assert_eq!(got.0, want.0, "digest at shards={shards} threads={threads}");
+                assert_eq!(got.1, want.1, "windows at shards={shards}");
+                assert_eq!(got.2, want.2, "messages at shards={shards}");
+                assert_eq!(got.3, want.3, "events at shards={shards}");
+                assert_eq!(
+                    got.4, want.4,
+                    "metrics at shards={shards} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn messages_arrive_and_are_counted() {
+        let mut sim = build(3, 30);
+        metrics::reset();
+        sim.run();
+        metrics::reset();
+        let m = sim.merged_metrics();
+        assert_eq!(m.counter("ping.received"), sim.messages());
+        assert_eq!(m.counter("shard.windows"), sim.windows());
+        let received: u64 = (0..3)
+            .map(|i| sim.with_site(i, |s, _| s.world.received))
+            .sum();
+        assert_eq!(received, sim.messages());
+        // 30 ticks → sends at every third countdown value (11 per
+        // site), delivered exactly once each.
+        assert_eq!(sim.messages(), 3 * 11);
+    }
+
+    #[test]
+    fn run_folds_metrics_into_the_callers_context() {
+        metrics::reset();
+        metrics::counter_add("ambient.before", 2);
+        let mut sim = build(2, 10);
+        sim.run();
+        let m = metrics::take();
+        assert_eq!(m.counter("ambient.before"), 2, "ambient context survives");
+        assert_eq!(m.counter("shard.windows"), sim.windows());
+        assert!(m.counter("ping.ticks") >= 2 * 10);
+        assert!(
+            m.counter("sim.events_executed") >= m.counter("ping.ticks"),
+            "engine accounting rides along"
+        );
+    }
+
+    #[test]
+    fn critical_path_accounting_models_shard_parallelism() {
+        let mut serial = build(4, 30);
+        metrics::reset();
+        serial.run();
+        metrics::reset();
+        assert_eq!(
+            serial.critical_path_events(),
+            serial.total_events(),
+            "one shard is its own critical path"
+        );
+        assert!((serial.model_speedup() - 1.0).abs() < 1e-12);
+
+        let mut sharded = build(4, 30).shards(4);
+        metrics::reset();
+        sharded.run();
+        metrics::reset();
+        assert_eq!(sharded.total_events(), serial.total_events());
+        assert!(
+            sharded.model_speedup() > 2.0,
+            "4 near-symmetric sites across 4 shards: got {:.2}",
+            sharded.model_speedup()
+        );
+        assert!(sharded.model_speedup() <= 4.0 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn sends_below_the_lookahead_panic() {
+        struct Hasty;
+        impl ShardWorld for Hasty {
+            type Msg = ();
+            fn deliver(_: (), _: &mut SiteState<Self>, _: &mut Engine<SiteState<Self>>) {}
+        }
+        let mut sim = ShardedSim::new(LAT, [Hasty, Hasty]);
+        sim.with_site(0, |_, en| {
+            // Two windows of local work so the second send's timestamp
+            // lands inside an already-executed window.
+            en.schedule_at(SimTime::ZERO, |site: &mut SiteState<Hasty>, en| {
+                site.send(SiteId(1), en.now(), ());
+                en.schedule_in(LAT + LAT, |site: &mut SiteState<Hasty>, en| {
+                    site.send(SiteId(1), en.now() - LAT, ());
+                });
+            });
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn self_sends_panic() {
+        struct Selfish;
+        impl ShardWorld for Selfish {
+            type Msg = ();
+            fn deliver(_: (), _: &mut SiteState<Self>, _: &mut Engine<SiteState<Self>>) {}
+        }
+        let mut sim = ShardedSim::new(LAT, [Selfish]);
+        sim.with_site(0, |_, en| {
+            en.schedule_at(SimTime::ZERO, |site: &mut SiteState<Selfish>, en| {
+                site.send(SiteId(0), en.now() + LAT, ());
+            });
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "safe-advance window")]
+    fn zero_lookahead_is_rejected() {
+        struct Idle;
+        impl ShardWorld for Idle {
+            type Msg = ();
+            fn deliver(_: (), _: &mut SiteState<Self>, _: &mut Engine<SiteState<Self>>) {}
+        }
+        let _ = ShardedSim::new(SimDuration::ZERO, [Idle]);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-shot")]
+    fn running_twice_panics() {
+        struct Idle;
+        impl ShardWorld for Idle {
+            type Msg = ();
+            fn deliver(_: (), _: &mut SiteState<Self>, _: &mut Engine<SiteState<Self>>) {}
+        }
+        let mut sim = ShardedSim::new(LAT, [Idle]);
+        sim.run();
+        sim.run();
+    }
+
+    #[test]
+    fn empty_and_idle_worlds_terminate() {
+        struct Idle;
+        impl ShardWorld for Idle {
+            type Msg = ();
+            fn deliver(_: (), _: &mut SiteState<Self>, _: &mut Engine<SiteState<Self>>) {}
+        }
+        let mut none: ShardedSim<Idle> = ShardedSim::new(LAT, []);
+        none.run();
+        assert_eq!(none.windows(), 0);
+        let mut quiet = ShardedSim::new(LAT, [Idle, Idle]).shards(2).threads(2);
+        quiet.run();
+        assert_eq!(quiet.windows(), 0);
+        assert_eq!(quiet.total_events(), 0);
+    }
+}

@@ -22,6 +22,10 @@
 //!   VPN that grafts a remote VM onto its home network.
 //! * [`overlay`] — probing, adaptive shortest-path routing, and
 //!   re-optimization when the underlay degrades.
+//! * [`sites`] — the multi-site virtual-organization graph: named
+//!   sites joined by inter-site links, shard partition maps, and the
+//!   minimum-latency **lookahead** extraction the conservative
+//!   synchronizer (`gridvm_simcore::shard`) advances by.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,10 +34,12 @@ pub mod addr;
 pub mod dhcp;
 pub mod link;
 pub mod overlay;
+pub mod sites;
 pub mod tunnel;
 
 pub use addr::{Ipv4Addr, MacAddr, Subnet};
 pub use dhcp::DhcpServer;
 pub use link::NetLink;
 pub use overlay::{NodeId, Overlay};
+pub use sites::SiteTopology;
 pub use tunnel::{EthernetTunnel, Vpn};

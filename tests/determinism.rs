@@ -363,6 +363,55 @@ mod session_replication_proptest {
 }
 
 #[test]
+fn sharded_simulation_is_shard_and_thread_count_invariant() {
+    // The conservative synchronizer's whole contract: the multi-site
+    // VO world must produce bit-identical trace digests, metrics and
+    // coordinator tallies at every shard/thread packing. CI adds an
+    // extra leg via GRIDVM_SHARDS to sweep the same body under
+    // different ambient counts.
+    use gridvm::core::multisite::{build_vo, VoConfig};
+    use gridvm::simcore::metrics;
+
+    let cfg = VoConfig {
+        sites: 6,
+        sessions_per_site: 6,
+        steps_per_session: 40,
+        ..VoConfig::paper_vo()
+    };
+    let run = |shards: usize, threads: usize| {
+        let mut sim = build_vo(&cfg).shards(shards).threads(threads);
+        metrics::reset();
+        sim.run();
+        metrics::reset();
+        (
+            sim.trace_digest(),
+            sim.merged_metrics(),
+            sim.windows(),
+            sim.messages(),
+            sim.total_events(),
+        )
+    };
+    let want = run(1, 1);
+    assert!(want.3 > 0, "the sweep must actually cross shard boundaries");
+    let mut sweep = vec![2usize, 4, 8];
+    if let Some(extra) = std::env::var("GRIDVM_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        sweep.push(extra);
+    }
+    for shards in sweep {
+        for threads in [1usize, 8] {
+            assert_eq!(
+                run(shards, threads),
+                want,
+                "divergence at shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
 fn trace_generation_streams_are_label_isolated() {
     // Drawing from one component's stream must not perturb another's.
     let root = SimRng::seed_from(6);

@@ -108,6 +108,42 @@ fn golden_scenario_digest_and_counters_are_pinned() {
 }
 
 #[test]
+fn sharded_golden_vo_digest_is_pinned() {
+    // The sharded counterpart of the golden anchor: the reference VO
+    // world (4 sites, 8 sessions each, canonical seed) must keep
+    // producing exactly this cross-site history at *every* shard
+    // packing. Re-pin from the failure output only when a change to
+    // the VO world or the synchronizer protocol is intentional.
+    use gridvm::core::multisite::{build_vo, VoConfig};
+
+    let run = |shards: usize| {
+        let mut sim = build_vo(&VoConfig::paper_vo()).shards(shards);
+        metrics::reset();
+        sim.run();
+        metrics::reset();
+        let m = sim.merged_metrics();
+        (
+            sim.trace_digest(),
+            sim.windows(),
+            sim.messages(),
+            sim.total_events(),
+            m.counter("vo.sessions_completed"),
+            m.counter("vo.hops"),
+            m.counter("vo.recoveries"),
+        )
+    };
+    let got = run(1);
+    assert_eq!(got, run(4), "shard packing changed the golden history");
+    let (digest, windows, messages, events, completed, hops, recoveries) = got;
+    assert_eq!(completed, 32, "every session completes exactly once");
+    assert_eq!(
+        (digest, windows, messages, events, hops, recoveries),
+        (0xf992_a241_1620_cf73, 12, 85, 1654, 85, 22),
+        "sharded golden drifted"
+    );
+}
+
+#[test]
 fn golden_scenario_reproduces_itself() {
     let (a, ta) = run_golden();
     let (b, tb) = run_golden();
