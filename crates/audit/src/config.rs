@@ -29,6 +29,9 @@
 
 use crate::rules::{Finding, RULES};
 
+/// Identifies the baseline file format; bumped on breaking changes.
+pub const BASELINE_SCHEMA: &str = "gridvm-audit-baseline/v1";
+
 /// One `[[allow]]` entry.
 #[derive(Clone, Debug)]
 pub struct AllowEntry {
@@ -197,6 +200,360 @@ fn validate(entry: &AllowEntry) -> Result<(), ConfigError> {
     Ok(())
 }
 
+/// One `(path, rule)` budget in the findings baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Workspace-relative file path the findings live in.
+    pub path: String,
+    /// Rule name.
+    pub rule: String,
+    /// How many findings of `rule` in `path` the ratchet tolerates.
+    pub count: usize,
+}
+
+/// The findings ratchet: known findings that existed when a rule
+/// landed, committed as `audit_baseline.json`. Deny mode fails only on
+/// findings *beyond* these budgets, so new rules can ship with their
+/// pre-existing findings triaged over time instead of blocking the
+/// tree; entries whose findings have been fixed are reported so the
+/// baseline only ever shrinks.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// Why this baseline is allowed to exist (mandatory, even — and
+    /// especially — when `entries` is empty).
+    pub note: String,
+    /// Budgets, as committed.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses the baseline JSON. Schema mismatches, unknown rule names
+    /// and a missing `note` are hard errors, for the same reason they
+    /// are in `audit.toml`: a typo must not silently widen the ratchet.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        use json::ObjectExt as _;
+        let v = json::parse(text)?;
+        let obj = v.as_object("top level")?;
+        let schema = obj.get_str("schema")?;
+        if schema != BASELINE_SCHEMA {
+            return Err(ConfigError {
+                line: 1,
+                message: format!("baseline schema is `{schema}`, expected `{BASELINE_SCHEMA}`"),
+            });
+        }
+        let note = obj.get_str("note")?.to_owned();
+        if note.is_empty() {
+            return Err(ConfigError {
+                line: 1,
+                message: "baseline `note` is empty; write down why the ratchet exists".to_owned(),
+            });
+        }
+        let mut entries = Vec::new();
+        for item in obj.get_array("findings")? {
+            let e = item.as_object("findings entry")?;
+            let rule = e.get_str("rule")?.to_owned();
+            if !RULES.iter().any(|r| r.name == rule) {
+                return Err(ConfigError {
+                    line: 1,
+                    message: format!("baseline names unknown rule `{rule}`"),
+                });
+            }
+            let path = e.get_str("path")?.to_owned();
+            let count = e.get_count("count")?;
+            if path.is_empty() || count == 0 {
+                return Err(ConfigError {
+                    line: 1,
+                    message: "baseline entry needs a non-empty path and count >= 1".to_owned(),
+                });
+            }
+            entries.push(BaselineEntry { path, rule, count });
+        }
+        Ok(Baseline { note, entries })
+    }
+
+    /// Serializes a baseline for `--write-baseline`, sorted so the
+    /// committed file is diff-stable.
+    pub fn render(note: &str, entries: &[BaselineEntry]) -> String {
+        let mut sorted = entries.to_vec();
+        sorted.sort_by(|a, b| (&a.path, &a.rule).cmp(&(&b.path, &b.rule)));
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{BASELINE_SCHEMA}\",\n"));
+        out.push_str(&format!("  \"note\": {},\n", json::escape(note)));
+        out.push_str("  \"findings\": [");
+        for (i, e) in sorted.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"path\": {}, \"rule\": {}, \"count\": {}}}",
+                json::escape(&e.path),
+                json::escape(&e.rule),
+                e.count
+            ));
+        }
+        if !sorted.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// A hand-rolled JSON subset — objects, arrays, strings, unsigned
+/// integers, `true`/`false`/`null` — enough for the baseline file and
+/// report output without a serde dependency.
+mod json {
+    use super::ConfigError;
+    use std::collections::BTreeMap;
+
+    /// One parsed JSON value.
+    pub enum Value {
+        /// An object; keys sorted, duplicates rejected at parse time.
+        Object(BTreeMap<String, Value>),
+        /// An array.
+        Array(Vec<Value>),
+        /// A string.
+        Str(String),
+        /// An unsigned integer (the only number shape the baseline
+        /// uses).
+        Num(u64),
+        /// `true` / `false` / `null`, folded (the baseline never reads
+        /// them back).
+        Atom,
+    }
+
+    impl Value {
+        pub fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Value>, ConfigError> {
+            match self {
+                Value::Object(m) => Ok(m),
+                _ => Err(err(format!("{what} must be a JSON object"))),
+            }
+        }
+    }
+
+    /// Typed field access on parsed objects.
+    pub trait ObjectExt {
+        fn get_str(&self, key: &str) -> Result<&str, ConfigError>;
+        fn get_array(&self, key: &str) -> Result<&[Value], ConfigError>;
+        fn get_count(&self, key: &str) -> Result<usize, ConfigError>;
+    }
+
+    impl ObjectExt for BTreeMap<String, Value> {
+        fn get_str(&self, key: &str) -> Result<&str, ConfigError> {
+            match self.get(key) {
+                Some(Value::Str(s)) => Ok(s),
+                _ => Err(err(format!("missing or non-string `{key}`"))),
+            }
+        }
+
+        fn get_array(&self, key: &str) -> Result<&[Value], ConfigError> {
+            match self.get(key) {
+                Some(Value::Array(a)) => Ok(a),
+                _ => Err(err(format!("missing or non-array `{key}`"))),
+            }
+        }
+
+        fn get_count(&self, key: &str) -> Result<usize, ConfigError> {
+            match self.get(key) {
+                Some(Value::Num(n)) => Ok(*n as usize),
+                _ => Err(err(format!("missing or non-integer `{key}`"))),
+            }
+        }
+    }
+
+    fn err(message: String) -> ConfigError {
+        ConfigError { line: 1, message }
+    }
+
+    /// Escapes `s` as a JSON string literal (quotes included).
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Parses one JSON document.
+    pub fn parse(text: &str) -> Result<Value, ConfigError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(at(bytes, pos, "trailing content after JSON value"));
+        }
+        Ok(v)
+    }
+
+    fn at(bytes: &[u8], pos: usize, message: &str) -> ConfigError {
+        let line = bytes[..pos.min(bytes.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count() as u32
+            + 1;
+        ConfigError {
+            line,
+            message: message.to_owned(),
+        }
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while bytes
+            .get(*pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            *pos += 1;
+        }
+    }
+
+    fn value(bytes: &[u8], pos: &mut usize) -> Result<Value, ConfigError> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut map = BTreeMap::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = match value(bytes, pos)? {
+                        Value::Str(s) => s,
+                        _ => return Err(at(bytes, *pos, "object key must be a string")),
+                    };
+                    skip_ws(bytes, pos);
+                    if bytes.get(*pos) != Some(&b':') {
+                        return Err(at(bytes, *pos, "expected `:` after object key"));
+                    }
+                    *pos += 1;
+                    let v = value(bytes, pos)?;
+                    if map.insert(key, v).is_some() {
+                        return Err(at(bytes, *pos, "duplicate object key"));
+                    }
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return Err(at(bytes, *pos, "expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(at(bytes, *pos, "expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                *pos += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(*pos) {
+                        Some(b'"') => {
+                            *pos += 1;
+                            return Ok(Value::Str(s));
+                        }
+                        Some(b'\\') => {
+                            *pos += 1;
+                            match bytes.get(*pos) {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'r') => s.push('\r'),
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'/') => s.push('/'),
+                                Some(b'u') => {
+                                    let hex = bytes
+                                        .get(*pos + 1..*pos + 5)
+                                        .and_then(|h| std::str::from_utf8(h).ok())
+                                        .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                        .and_then(char::from_u32)
+                                        .ok_or_else(|| {
+                                            at(bytes, *pos, "bad \\u escape in string")
+                                        })?;
+                                    s.push(hex);
+                                    *pos += 4;
+                                }
+                                _ => return Err(at(bytes, *pos, "bad escape in string")),
+                            }
+                            *pos += 1;
+                        }
+                        Some(&b) if b < 0x80 => {
+                            s.push(b as char);
+                            *pos += 1;
+                        }
+                        Some(_) => {
+                            // Multi-byte UTF-8: copy the whole char.
+                            let rest = std::str::from_utf8(&bytes[*pos..])
+                                .map_err(|_| at(bytes, *pos, "invalid UTF-8 in string"))?;
+                            let c = rest.chars().next().expect("non-empty by construction");
+                            s.push(c);
+                            *pos += c.len_utf8();
+                        }
+                        None => return Err(at(bytes, *pos, "unterminated string")),
+                    }
+                }
+            }
+            Some(b) if b.is_ascii_digit() => {
+                let start = *pos;
+                while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+                    *pos += 1;
+                }
+                let n = std::str::from_utf8(&bytes[start..*pos])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| at(bytes, start, "bad number"))?;
+                Ok(Value::Num(n))
+            }
+            Some(_) => {
+                for kw in ["true", "false", "null"] {
+                    if bytes[*pos..].starts_with(kw.as_bytes()) {
+                        *pos += kw.len();
+                        return Ok(Value::Atom);
+                    }
+                }
+                Err(at(bytes, *pos, "unexpected character in JSON"))
+            }
+            None => Err(at(bytes, *pos, "unexpected end of JSON")),
+        }
+    }
+}
+
+pub use json::escape as json_escape;
+
 /// Strips a `#` comment, ignoring `#` inside double quotes.
 fn strip_comment(line: &str) -> &str {
     let mut in_str = false;
@@ -320,5 +677,49 @@ reason = \"deadline order is semantic\"\n";
         let text = "\n# nothing but comments\n   # indented\n";
         let list = Allowlist::parse(text).expect("parses");
         assert!(list.entries.is_empty());
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render_and_parse() {
+        let entries = vec![
+            BaselineEntry {
+                path: "crates/vnet/src/overlay.rs".into(),
+                rule: "alloc-in-hot".into(),
+                count: 3,
+            },
+            BaselineEntry {
+                path: "crates/core/src/multisite.rs".into(),
+                rule: "iter-order-taint".into(),
+                count: 1,
+            },
+        ];
+        let text = Baseline::render("triaged at rule introduction", &entries);
+        let base = Baseline::parse(&text).expect("round-trips");
+        assert_eq!(base.note, "triaged at rule introduction");
+        // Render sorts by (path, rule).
+        assert_eq!(base.entries[0].path, "crates/core/src/multisite.rs");
+        assert_eq!(base.entries[1].count, 3);
+    }
+
+    #[test]
+    fn baseline_rejects_bad_schema_unknown_rule_and_empty_note() {
+        let bad_schema = r#"{"schema": "nope/v9", "note": "x", "findings": []}"#;
+        assert!(Baseline::parse(bad_schema).is_err());
+        let bad_rule = format!(
+            r#"{{"schema": "{BASELINE_SCHEMA}", "note": "x",
+                "findings": [{{"path": "a.rs", "rule": "no-such-rule", "count": 1}}]}}"#
+        );
+        let err = Baseline::parse(&bad_rule).unwrap_err();
+        assert!(err.message.contains("unknown rule"), "{err}");
+        let empty_note =
+            format!(r#"{{"schema": "{BASELINE_SCHEMA}", "note": "", "findings": []}}"#);
+        assert!(Baseline::parse(&empty_note).is_err());
+    }
+
+    #[test]
+    fn baseline_rejects_malformed_json() {
+        assert!(Baseline::parse("{").is_err());
+        assert!(Baseline::parse("").is_err());
+        assert!(Baseline::parse(r#"{"schema": }"#).is_err());
     }
 }

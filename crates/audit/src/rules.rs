@@ -18,7 +18,14 @@
 //! | `hot-btree-lookup`| `BTreeMap`/`BTreeSet` in a file listed under `[hot_paths]` in `audit.toml`: O(log n) lookups on a measured hot path |
 //! | `sync-primitive`  | `Mutex`/`RwLock`/`Atomic*` in sim-state library code outside the sanctioned `simcore::shard` synchronizer: ad-hoc cross-thread coordination invites schedule-dependent results |
 
+use crate::analysis::{balanced, find_closures, receiver_chain, FileIndex, SymbolTable, UseDef};
 use crate::lexer::{tokenize, Token, TokenKind};
+use crate::taint::TaintMap;
+
+/// Path suffix of the one file owning the mailbox protocol's state;
+/// `shard-state-escape` resolves site-owned fields against it through
+/// the workspace symbol table.
+pub const SHARD_FILE: &str = "crates/simcore/src/shard.rs";
 
 /// Crates whose *state* feeds simulation results. A hash container
 /// here is a latent nondeterminism bomb even when today's code never
@@ -130,6 +137,13 @@ pub struct RuleInfo {
 /// The rule catalogue, in diagnostic-name order.
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
+        name: "alloc-in-hot",
+        summary: "heap allocation (Box::new/Vec::new/vec!/format!/to_string/to_owned/heap \
+                  clone) inside a non-constructor function of a [hot_paths] file: steady \
+                  state on measured hot paths is allocation-free (DESIGN.md \u{a7}10/\u{a7}11); \
+                  hoist the allocation to setup or record an audited exception",
+    },
+    RuleInfo {
         name: "boxed-event",
         summary: "Box::new inside a schedule_* call outside simcore: the engine boxes \
                   oversized captures itself; use schedule_fn_*/schedule_arg_* (or plain \
@@ -150,6 +164,34 @@ pub const RULES: &[RuleInfo] = &[
         summary: "BTreeMap/BTreeSet in a file listed under [hot_paths] in audit.toml: \
                   O(log n) lookups on a measured hot path; use slot::SlotMap/DenseMap, or \
                   allowlist with the reason order is semantic there",
+    },
+    RuleInfo {
+        name: "iter-order-taint",
+        summary: "a value derived from unordered-container iteration flows into a \
+                  schedule_* time argument or a metrics write (tracked through lets, \
+                  loop variables and reassignments): event order or merged statistics \
+                  become hasher-dependent; iterate an ordered container or sort first",
+    },
+    RuleInfo {
+        name: "lock-order",
+        summary: "nested lock acquisitions in inconsistent order (A then B here, B then \
+                  A elsewhere) or two locks from the same indexed table held at once: a \
+                  static deadlock hazard; acquire in one global order or narrow the \
+                  first guard's scope",
+    },
+    RuleInfo {
+        name: "malformed-suppression",
+        summary: "an inline `// audit:allow(rule)` comment with no reason text or an \
+                  unknown rule name: every suppression needs a written justification, \
+                  exactly like audit.toml entries",
+    },
+    RuleInfo {
+        name: "shard-state-escape",
+        summary: "sim-state escaping the shard isolation contract: an event/spawn \
+                  closure capturing its environment by reference, a mutable borrow \
+                  smuggled into a scheduled event, or private site-owned mailbox state \
+                  touched outside simcore::shard — each makes cross-site interaction \
+                  bypass the deterministic mailbox drain",
     },
     RuleInfo {
         name: "static-mut",
@@ -189,7 +231,16 @@ const UNSEEDED_IDENTS: &[&str] = &[
 ];
 
 /// Scans one file's source text and returns every rule violation.
+/// Token-pattern rules only; [`scan_with`] adds the semantic pass.
 pub fn scan(src: &str, ctx: &FileContext) -> Vec<Finding> {
+    scan_with(src, ctx, None)
+}
+
+/// Scans one file with the full rule set. `symbols` carries the
+/// two-pass workspace symbol table; without it the cross-file half of
+/// `shard-state-escape` (site-owned state resolution) stays silent,
+/// everything intra-file still runs.
+pub fn scan_with(src: &str, ctx: &FileContext, symbols: Option<&SymbolTable>) -> Vec<Finding> {
     let toks = tokenize(src);
     let test_regions = find_test_regions(&toks);
     let in_test = |i: usize| test_regions.iter().any(|r| r.contains(&i));
@@ -319,8 +370,405 @@ pub fn scan(src: &str, ctx: &FileContext) -> Vec<Finding> {
 
     scan_float_accum(&toks, &hash_names, &in_test, &mut out);
     scan_boxed_event(&toks, ctx, &in_test, &mut out);
+
+    // The semantic pass: item index + use-def chains feed the
+    // dataflow-aware rules.
+    let idx = FileIndex::build(&toks);
+    scan_shard_state_escape(&toks, ctx, &idx, symbols, &in_test, &mut out);
+    scan_lock_order(&toks, ctx, &idx, &in_test, &mut out);
+    scan_iter_order_taint(&toks, ctx, &idx, &hash_names, &in_test, &mut out);
+    scan_alloc_in_hot(&toks, ctx, &idx, &in_test, &mut out);
+
     out.sort_by_key(|f| (f.line, f.col, f.rule));
     out
+}
+
+/// Methods that hand a closure to deferred/parallel execution: the
+/// engine's `schedule_*` family plus thread spawns.
+fn defers_closure(name: &str) -> bool {
+    name.starts_with("schedule_") || name == "spawn"
+}
+
+/// `shard-state-escape`: the static race detector. Three shapes:
+///
+/// 1. a non-`move` closure handed to `schedule_*`/`spawn` that uses a
+///    name bound outside itself — a by-reference environment capture
+///    escaping into deferred execution;
+/// 2. a `move` closure handed to `schedule_*`/`spawn` that captures a
+///    binding holding a `&mut` borrow — aliased sim-state smuggled
+///    past the site boundary;
+/// 3. (cross-file, via the symbol table) a field that is private
+///    site-owned state of the `simcore::shard` protocol — declared in
+///    [`SHARD_FILE`], nowhere else in the workspace, and not in this
+///    file — accessed outside the sanctioned synchronizer: cross-site
+///    interaction bypassing the mailbox API.
+fn scan_shard_state_escape(
+    toks: &[Token],
+    ctx: &FileContext,
+    idx: &FileIndex,
+    symbols: Option<&SymbolTable>,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    if !ctx.is_sim_state() || ctx.kind != SourceKind::Lib {
+        return;
+    }
+    for f in &idx.fns {
+        if f.body.is_empty() || in_test(f.body.start) {
+            continue;
+        }
+        let ud = UseDef::build(toks, f);
+        for i in f.body.clone() {
+            let Some(name) = toks[i].ident() else {
+                continue;
+            };
+            if !defers_closure(name) || !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            let Some(args) = balanced(toks, i + 1, '(', ')') else {
+                continue;
+            };
+            for cl in find_closures(toks, args.clone()) {
+                for u in cl.body.clone() {
+                    let Some(uname) = toks[u].ident() else {
+                        continue;
+                    };
+                    if cl.params.iter().any(|p| p == uname) {
+                        continue;
+                    }
+                    let Some(b) = ud.binding_for(u) else { continue };
+                    // Bindings introduced inside the closure body are
+                    // local to it, not captures.
+                    if cl.body.contains(&b.def_tok) {
+                        continue;
+                    }
+                    let t = &toks[cl.start];
+                    if !cl.is_move {
+                        out.push(Finding {
+                            rule: "shard-state-escape",
+                            line: t.line,
+                            col: t.col,
+                            message: format!(
+                                "closure handed to `{name}` captures `{uname}` from its \
+                                 environment by reference; deferred execution must not \
+                                 alias live sim-state — make it `move` (or pass the \
+                                 value through the event's inline argument)"
+                            ),
+                        });
+                        break;
+                    } else if b.mut_borrow {
+                        out.push(Finding {
+                            rule: "shard-state-escape",
+                            line: t.line,
+                            col: t.col,
+                            message: format!(
+                                "`move` closure handed to `{name}` captures `{uname}`, \
+                                 a `&mut` borrow of sim-state: the event would alias \
+                                 state owned by another scope when it fires; capture \
+                                 owned data or route through the world argument"
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        // Shape 3: unambiguous private shard-protocol fields reached
+        // outside the sanctioned file.
+        if let Some(table) = symbols {
+            if !ctx.sync_sanctioned {
+                for i in f.body.clone() {
+                    if !toks[i].is_punct('.') {
+                        continue;
+                    }
+                    let Some(field) = toks.get(i + 1).and_then(Token::ident) else {
+                        continue;
+                    };
+                    // Method calls are API, not state pokes.
+                    if toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+                        continue;
+                    }
+                    let owners = table.field_owners(field);
+                    // `pub` fields are exported API; only private
+                    // fields are protocol-internal.
+                    let shard_owned =
+                        owners.len() == 1 && owners[0].1.ends_with(SHARD_FILE) && !owners[0].2;
+                    if shard_owned && idx.declared_type(field).is_none() {
+                        let t = &toks[i + 1];
+                        out.push(Finding {
+                            rule: "shard-state-escape",
+                            line: t.line,
+                            col: t.col,
+                            message: format!(
+                                "`.{field}` is private site-owned state of the shard \
+                                 mailbox protocol (declared only in {SHARD_FILE}); \
+                                 cross-site interaction must flow through the Mailbox \
+                                 API (`SiteState::send` / `ShardWorld::deliver`)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `lock-order`: walks each function with a scope-aware stack of live
+/// lock guards. Flags (a) two locks from the same indexed table held
+/// at once — order then depends on dynamic indices — and (b) pairs of
+/// distinct receivers acquired in both orders within the file.
+fn scan_lock_order(
+    toks: &[Token],
+    ctx: &FileContext,
+    idx: &FileIndex,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.kind != SourceKind::Lib {
+        return;
+    }
+    // (first, second) receiver pairs observed nested, with the token
+    // of the second acquisition.
+    let mut pairs: Vec<(String, String, usize)> = Vec::new();
+    for f in &idx.fns {
+        if f.body.is_empty() || in_test(f.body.start) {
+            continue;
+        }
+        // Live guards: (receiver, scope depth at acquisition,
+        // let-bound). Temporaries die at the end of their statement.
+        let mut guards: Vec<(String, usize, bool)> = Vec::new();
+        let mut depth = 0usize;
+        let mut stmt_start = f.body.start;
+        for i in f.body.clone() {
+            match toks[i].kind {
+                TokenKind::Punct('{') => {
+                    depth += 1;
+                    stmt_start = i + 1;
+                }
+                TokenKind::Punct('}') => {
+                    guards.retain(|g| g.1 < depth);
+                    depth = depth.saturating_sub(1);
+                    stmt_start = i + 1;
+                }
+                TokenKind::Punct(';') => {
+                    guards.retain(|g| g.2);
+                    stmt_start = i + 1;
+                }
+                _ => {
+                    let locks = toks[i].is_ident("lock") || toks[i].is_ident("write");
+                    if locks
+                        && i > 0
+                        && toks[i - 1].is_punct('.')
+                        && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    {
+                        let recv = receiver_chain(toks, i - 1);
+                        if recv.is_empty() {
+                            continue;
+                        }
+                        if let Some(top) = guards.last() {
+                            if top.0 == recv && recv.ends_with("[_]") {
+                                out.push(Finding {
+                                    rule: "lock-order",
+                                    line: toks[i].line,
+                                    col: toks[i].col,
+                                    message: format!(
+                                        "second lock from the indexed table `{recv}` \
+                                         acquired while one is already held: acquisition \
+                                         order depends on dynamic indices — a static \
+                                         deadlock hazard; release the first guard or \
+                                         sort the indices"
+                                    ),
+                                });
+                            } else if top.0 != recv {
+                                pairs.push((top.0.clone(), recv.clone(), i));
+                            }
+                        }
+                        let let_bound = (stmt_start..i).any(|k| toks[k].is_ident("let"));
+                        guards.push((recv, depth, let_bound));
+                    }
+                }
+            }
+        }
+    }
+    for (a, b, tok) in &pairs {
+        if pairs.iter().any(|(x, y, _)| x == b && y == a) {
+            let t = &toks[*tok];
+            out.push(Finding {
+                rule: "lock-order",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{b}` locked while holding `{a}`, but elsewhere in this file \
+                     `{a}` is locked while holding `{b}`: inconsistent lock order is \
+                     a static deadlock hazard; pick one global order"
+                ),
+            });
+        }
+    }
+}
+
+/// `iter-order-taint`: runs the [`TaintMap`] fixpoint per function and
+/// reports every tainted value reaching a schedule-time or metrics
+/// sink.
+fn scan_iter_order_taint(
+    toks: &[Token],
+    ctx: &FileContext,
+    idx: &FileIndex,
+    hash_names: &[String],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    if !ctx.is_sim_state() || ctx.kind != SourceKind::Lib {
+        return;
+    }
+    // Names the file declares with a hash type annotation also count
+    // as unordered sources, beyond the let/field patterns the
+    // float-accum rule tracks.
+    let mut names: Vec<String> = hash_names.to_vec();
+    for (name, ty) in &idx.type_of {
+        if (ty == "HashMap" || ty == "HashSet") && !names.contains(name) {
+            names.push(name.clone());
+        }
+    }
+    if names.is_empty() {
+        return;
+    }
+    for f in &idx.fns {
+        if f.body.is_empty() || in_test(f.body.start) {
+            continue;
+        }
+        let ud = UseDef::build(toks, f);
+        let tm = TaintMap::build(toks, f, &ud, &names);
+        for hit in tm.sink_hits() {
+            let t = &toks[hit.sink_tok];
+            let what = if hit.sink.starts_with("schedule_") {
+                "the time argument of"
+            } else {
+                "the metrics write"
+            };
+            out.push(Finding {
+                rule: "iter-order-taint",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` derives from unordered-container iteration (line {}) and \
+                     flows into {what} `{}`: the result depends on hasher visit \
+                     order; iterate an ordered container or sort before deriving \
+                     times/metrics",
+                    hit.name, hit.source_line, hit.sink
+                ),
+            });
+        }
+    }
+}
+
+/// Heap-allocating constructors by `Path :: name` pattern.
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Box", "new"),
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("String", "new"),
+    ("String", "from"),
+];
+
+/// Heap-allocating method calls (`.name(`) on declared heap types or
+/// unconditionally allocating conversions.
+const ALLOC_METHODS: &[&str] = &["to_string", "to_owned", "to_vec"];
+
+/// Types whose `.clone()` is a heap allocation.
+const HEAP_TYPES: &[&str] = &[
+    "String", "Vec", "VecDeque", "Box", "BTreeMap", "BTreeSet", "HashMap", "HashSet",
+];
+
+/// `alloc-in-hot`: allocation calls inside non-constructor functions
+/// of `[hot_paths]` files. Constructor-shaped functions (`new`,
+/// `default`, `from_*`, `with_*`) are setup, not steady state, and
+/// stay exempt — that distinction is what the item index buys.
+fn scan_alloc_in_hot(
+    toks: &[Token],
+    ctx: &FileContext,
+    idx: &FileIndex,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    if !ctx.hot || ctx.kind != SourceKind::Lib {
+        return;
+    }
+    for f in &idx.fns {
+        if f.body.is_empty() || in_test(f.body.start) {
+            continue;
+        }
+        if f.name == "new"
+            || f.name == "default"
+            || f.name.starts_with("from_")
+            || f.name.starts_with("with_")
+        {
+            continue;
+        }
+        for i in f.body.clone() {
+            let Some(name) = toks[i].ident() else {
+                continue;
+            };
+            let push = |out: &mut Vec<Finding>, what: &str| {
+                let t = &toks[i];
+                out.push(Finding {
+                    rule: "alloc-in-hot",
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "{what} in `{}`, a non-constructor function of a [hot_paths] \
+                         file: measured hot paths are allocation-free in steady state \
+                         (DESIGN.md \u{a7}10/\u{a7}11); hoist the allocation to setup, reuse a \
+                         buffer, or record an audited exception",
+                        f.name
+                    ),
+                });
+            };
+            // `Path :: new (` constructors.
+            if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                if let Some(m) = toks.get(i + 3).and_then(Token::ident) {
+                    if toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+                        && ALLOC_PATHS.iter().any(|(p, c)| *p == name && *c == m)
+                    {
+                        push(out, &format!("`{name}::{m}` allocates"));
+                    }
+                }
+                continue;
+            }
+            // `vec!` / `format!` macros.
+            if (name == "vec" || name == "format")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                push(out, &format!("`{name}!` allocates"));
+                continue;
+            }
+            // `.to_string()` / `.to_owned()` / `.to_vec()`.
+            if i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                if ALLOC_METHODS.contains(&name) {
+                    push(out, &format!("`.{name}()` allocates"));
+                    continue;
+                }
+                // `.clone()` on a name declared with a heap type.
+                if name == "clone" {
+                    let recv = receiver_chain(toks, i - 1);
+                    let last = recv.rsplit(['.']).next().unwrap_or("");
+                    if let Some(ty) = idx.declared_type(last) {
+                        if HEAP_TYPES.contains(&ty) {
+                            push(
+                                out,
+                                &format!("`.clone()` of `{last}` (declared `{ty}`) allocates"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Detects `Box::new` inside the argument list of a `schedule_*` call
@@ -382,6 +830,19 @@ fn scan_boxed_event(
             j += 1;
         }
     }
+}
+
+/// 1-based inclusive line spans covered by `#[cfg(test)]` items —
+/// used by the suppression layer so allow-comment *examples* inside
+/// test code (fixture strings, doc snippets under test) are not
+/// parsed as live suppressions.
+pub fn test_line_spans(src: &str) -> Vec<(u32, u32)> {
+    let toks = tokenize(src);
+    find_test_regions(&toks)
+        .into_iter()
+        .filter(|r| r.start < r.end && r.end <= toks.len())
+        .map(|r| (toks[r.start].line, toks[r.end - 1].line))
+        .collect()
 }
 
 /// Token index ranges covered by `#[cfg(test)]` items.

@@ -1,0 +1,396 @@
+//! Intra-function taint propagation for the `iter-order-taint` rule.
+//!
+//! The hazard: a value *derived from the iteration order of an
+//! unordered container* flowing into something order-sensitive — a
+//! `schedule_*` time argument (event order becomes hasher-dependent)
+//! or a metrics write (merged statistics become visit-order
+//! dependent). The float-accum rule catches the classic `sum()` case;
+//! this pass follows the value through `let` bindings, loop
+//! variables, reassignments and compound assignments inside one
+//! function, using the [`crate::analysis::UseDef`] chains.
+//!
+//! Sources are iteration calls (`iter`, `iter_mut`, `keys`, `values`,
+//! `values_mut`, `drain`, `into_iter`) whose receiver is a name the
+//! file declares with a hash-container type. Propagation runs to a
+//! fixpoint, so ordering of `let`s does not matter. The analysis is
+//! deliberately conservative in both directions a linter can afford:
+//! taint is never killed by reassignment from a clean value, and only
+//! named bindings (not fields or temporaries chained through calls)
+//! carry it.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::analysis::{balanced, FnItem, UseDef};
+use crate::lexer::{Token, TokenKind};
+
+/// Iterator methods whose results inherit the receiver's (unordered)
+/// visit order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// One tainted value reaching an order-sensitive sink.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaintHit {
+    /// Token index of the sink call identifier.
+    pub sink_tok: usize,
+    /// The sink call's name (`schedule_in`, `counter_add`, ...).
+    pub sink: String,
+    /// The tainted name observed inside the sink argument.
+    pub name: String,
+    /// 1-based line of the source that introduced the taint.
+    pub source_line: u32,
+}
+
+/// Taint state for one function body.
+pub struct TaintMap<'a> {
+    toks: &'a [Token],
+    f: &'a FnItem,
+    ud: &'a UseDef,
+    hash_names: &'a [String],
+    /// Tainted binding indices (into `ud.bindings`) with the line of
+    /// the source that tainted them.
+    tainted: Vec<Option<u32>>,
+}
+
+impl<'a> TaintMap<'a> {
+    /// Runs propagation to a fixpoint over `f`'s body.
+    pub fn build(
+        toks: &'a [Token],
+        f: &'a FnItem,
+        ud: &'a UseDef,
+        hash_names: &'a [String],
+    ) -> Self {
+        let mut tm = TaintMap {
+            toks,
+            f,
+            ud,
+            hash_names,
+            tainted: vec![None; ud.bindings.len()],
+        };
+        // Fixpoint: each pass can only add taint, and there are at
+        // most `bindings` additions.
+        for _ in 0..tm.ud.bindings.len().max(1) {
+            if !tm.propagate_once() {
+                break;
+            }
+        }
+        tm
+    }
+
+    /// True when the binding at `idx` is tainted.
+    pub fn is_tainted(&self, idx: usize) -> bool {
+        self.tainted[idx].is_some()
+    }
+
+    /// One propagation pass; returns whether anything changed.
+    fn propagate_once(&mut self) -> bool {
+        let mut changed = false;
+        // `let x = <tainted>`.
+        for b in 0..self.ud.bindings.len() {
+            if self.tainted[b].is_none() && !self.ud.bindings[b].init.is_empty() {
+                if let Some(line) = self.range_taint(self.ud.bindings[b].init.clone()) {
+                    self.tainted[b] = Some(line);
+                    changed = true;
+                }
+            }
+        }
+        // `for pat in <tainted header> { .. }`.
+        let body = self.f.body.clone();
+        let mut i = body.start;
+        while i < body.end {
+            if self.toks[i].is_ident("for") {
+                let mut j = i + 1;
+                while j < body.end && !self.toks[j].is_ident("in") && j - i <= 16 {
+                    j += 1;
+                }
+                if self.toks.get(j).is_some_and(|t| t.is_ident("in")) {
+                    let header_start = j + 1;
+                    let mut k = header_start;
+                    let mut depth = 0i32;
+                    while k < body.end {
+                        match self.toks[k].kind {
+                            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                            TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                            TokenKind::Punct('{') if depth == 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if let Some(line) = self.range_taint(header_start..k) {
+                        for (bidx, b) in self.ud.bindings.iter().enumerate() {
+                            if b.def_tok > i && b.def_tok < j && self.tainted[bidx].is_none() {
+                                self.tainted[bidx] = Some(line);
+                                changed = true;
+                            }
+                        }
+                    }
+                    i = k;
+                    continue;
+                }
+            }
+            // Reassignment `x = rhs;` and compound `x += rhs;`.
+            if self.toks[i].is_punct('=')
+                && !self.toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+                && i > 0
+            {
+                let (lhs, is_plain) = match &self.toks[i - 1].kind {
+                    TokenKind::Ident(_) => (i - 1, true),
+                    TokenKind::Punct('+' | '-' | '*' | '/' | '^' | '%' | '&' | '|') if i > 1 => {
+                        (i - 2, false)
+                    }
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                // `==`, `<=`, `>=`, `!=` are comparisons, not stores.
+                if !is_plain && !matches!(self.toks[lhs].kind, TokenKind::Ident(_)) {
+                    i += 1;
+                    continue;
+                }
+                if is_plain
+                    && self
+                        .toks
+                        .get(i.wrapping_sub(2))
+                        .is_some_and(|t| t.is_punct('<') || t.is_punct('>') || t.is_punct('!'))
+                {
+                    i += 1;
+                    continue;
+                }
+                if let Some(&bidx) = self.ud.resolved.get(&lhs) {
+                    if self.tainted[bidx].is_none() {
+                        let mut k = i + 1;
+                        let mut depth = 0i32;
+                        while k < body.end {
+                            match self.toks[k].kind {
+                                TokenKind::Punct('(')
+                                | TokenKind::Punct('[')
+                                | TokenKind::Punct('{') => depth += 1,
+                                TokenKind::Punct(')')
+                                | TokenKind::Punct(']')
+                                | TokenKind::Punct('}') => {
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                    depth -= 1;
+                                }
+                                TokenKind::Punct(';') if depth == 0 => break,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        if let Some(line) = self.range_taint(i + 1..k) {
+                            self.tainted[bidx] = Some(line);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        changed
+    }
+
+    /// The source line of the first taint inside `range`, if any: a
+    /// direct iteration source or a use of a tainted binding.
+    fn range_taint(&self, range: Range<usize>) -> Option<u32> {
+        for i in range.clone() {
+            if let Some(line) = self.source_at(i) {
+                return Some(line);
+            }
+            if let Some(&bidx) = self.ud.resolved.get(&i) {
+                if let Some(line) = self.tainted[bidx] {
+                    return Some(line);
+                }
+            }
+        }
+        None
+    }
+
+    /// True when token `i` begins `<hash-name> . <iter-method> (`.
+    fn source_at(&self, i: usize) -> Option<u32> {
+        let name = self.toks[i].ident()?;
+        if !self.hash_names.iter().any(|h| h == name) {
+            return None;
+        }
+        if !self.toks.get(i + 1).is_some_and(|t| t.is_punct('.')) {
+            return None;
+        }
+        let m = self.toks.get(i + 2)?.ident()?;
+        if ITER_METHODS.contains(&m) && self.toks.get(i + 3).is_some_and(|t| t.is_punct('(')) {
+            return Some(self.toks[i].line);
+        }
+        None
+    }
+
+    /// Finds every sink reached by a tainted value: the *time* (first)
+    /// argument of a `schedule_*` call, and any argument of a metrics
+    /// write.
+    pub fn sink_hits(&self) -> Vec<TaintHit> {
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        for i in self.f.body.clone() {
+            let Some(name) = self.toks[i].ident() else {
+                continue;
+            };
+            let is_schedule = name.starts_with("schedule_");
+            let is_metrics = matches!(name, "counter_add" | "gauge_set" | "timer_record");
+            if !is_schedule && !is_metrics {
+                continue;
+            }
+            let Some(args) = balanced(self.toks, i + 1, '(', ')') else {
+                continue;
+            };
+            // For schedule calls only the time argument is
+            // order-sensitive: its first top-level argument.
+            let scan_end = if is_schedule {
+                let mut depth = 0usize;
+                let mut end = args.end - 1;
+                for k in args.start..args.end {
+                    match self.toks[k].kind {
+                        TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => {
+                            depth += 1;
+                        }
+                        TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                            depth -= 1;
+                        }
+                        TokenKind::Punct(',') if depth == 1 => {
+                            end = k;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                end
+            } else {
+                args.end - 1
+            };
+            for k in args.start + 1..scan_end {
+                let hit = self
+                    .ud
+                    .resolved
+                    .get(&k)
+                    .and_then(|&b| self.tainted[b].map(|line| (line, b)))
+                    .map(|(line, _)| (line, self.toks[k].ident().unwrap_or("").to_owned()))
+                    .or_else(|| {
+                        self.source_at(k)
+                            .map(|line| (line, self.toks[k].ident().unwrap_or("").to_owned()))
+                    });
+                if let Some((source_line, tname)) = hit {
+                    if seen.insert((i, tname.clone())) {
+                        out.push(TaintHit {
+                            sink_tok: i,
+                            sink: name.to_owned(),
+                            name: tname,
+                            source_line,
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::FileIndex;
+    use crate::lexer::tokenize;
+
+    fn hits(src: &str, hash_names: &[&str]) -> Vec<(String, String, u32)> {
+        let toks = tokenize(src);
+        let idx = FileIndex::build(&toks);
+        let names: Vec<String> = hash_names.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        for f in &idx.fns {
+            let ud = UseDef::build(&toks, f);
+            let tm = TaintMap::build(&toks, f, &ud, &names);
+            for h in tm.sink_hits() {
+                out.push((h.sink, h.name, h.source_line));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn direct_source_into_schedule_time_is_flagged() {
+        let src = "\
+fn f(en: &mut E) {
+    for (id, t) in table.iter() {
+        en.schedule_at(t, tick);
+    }
+}
+";
+        let got = hits(src, &["table"]);
+        assert_eq!(got, vec![("schedule_at".into(), "t".into(), 2)]);
+    }
+
+    #[test]
+    fn taint_propagates_through_lets_and_arithmetic() {
+        let src = "\
+fn f(en: &mut E) {
+    let mut total = 0u64;
+    for v in weights.values() {
+        total += v;
+    }
+    let delay = base + total;
+    en.schedule_in(delay, tick);
+    counter_add(\"w.total\", total);
+}
+";
+        let got = hits(src, &["weights"]);
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert_eq!(got[0], ("schedule_in".into(), "delay".into(), 3));
+        assert_eq!(got[1], ("counter_add".into(), "total".into(), 3));
+    }
+
+    #[test]
+    fn payload_arguments_are_not_time_sinks() {
+        // Taint in the second (payload) argument of a schedule call is
+        // not a time hazard.
+        let src = "\
+fn f(en: &mut E) {
+    let n = table.iter().count();
+    en.schedule_in(FIXED, n);
+}
+";
+        assert!(hits(src, &["table"]).is_empty());
+    }
+
+    #[test]
+    fn ordered_sources_stay_clean() {
+        let src = "\
+fn f(en: &mut E) {
+    for (id, t) in ordered.iter() {
+        en.schedule_at(t, tick);
+    }
+}
+";
+        assert!(
+            hits(src, &["table"]).is_empty(),
+            "ordered is not a hash name"
+        );
+    }
+
+    #[test]
+    fn reassignment_from_source_taints() {
+        let src = "\
+fn f(en: &mut E) {
+    let mut d = 0;
+    d = bag.keys().next().copied().unwrap_or(0);
+    en.schedule_in(d, tick);
+}
+";
+        assert_eq!(hits(src, &["bag"]).len(), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture: inconsistent lock acquisition orders.
+
+fn forward_order(&self) {
+    let ga = self.alpha.lock();
+    let gb = self.beta.lock();
+    drop(gb);
+    drop(ga);
+}
+
+fn reverse_order(&self) {
+    let gb = self.beta.lock();
+    let ga = self.alpha.lock();
+    drop(ga);
+    drop(gb);
+}
+
+fn indexed_pair(&self, i: usize, j: usize) {
+    let gi = self.sites[i].lock();
+    let gj = self.sites[j].lock();
+    drop(gj);
+    drop(gi);
+}
+
+fn sequential_is_fine(&self) {
+    {
+        let ga = self.alpha.lock();
+        drop(ga);
+    }
+    {
+        let gb = self.beta.lock();
+        drop(gb);
+    }
+}

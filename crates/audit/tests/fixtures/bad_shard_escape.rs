@@ -1,0 +1,21 @@
+//! Fixture: deferred closures must not alias live sim-state.
+
+fn borrows_env(world: &mut World) {
+    let mut outbox = Vec::new();
+    world.schedule_at(now, || outbox.push(1));
+    drop(outbox);
+}
+
+fn moves_mut_borrow(world: &mut World) {
+    let slot = &mut world.slot;
+    world.spawn(move || slot.touch());
+}
+
+fn good_snapshot(world: &mut World) {
+    let seq = world.seq;
+    world.schedule_at(now, move || log(seq));
+}
+
+fn pokes_protocol_field(site: &mut SiteRuntime) {
+    site.inbox_seq += 1;
+}

@@ -168,9 +168,151 @@ fn wildcard_allowlist_suppresses_everything() {
 }
 
 #[test]
-fn workspace_scan_is_clean_under_repo_allowlist() {
-    // The repo's own audit.toml must keep `--deny` green: zero active
-    // findings across the entire workspace. This is the same check CI
+fn bad_shard_escape_fixture_exact_diagnostics() {
+    assert_eq!(
+        diagnostics("bad_shard_escape.rs", "simcore"),
+        vec![
+            ("shard-state-escape", 5, 28),
+            ("shard-state-escape", 11, 17),
+        ]
+    );
+    // Outside the sim-state crate list the rule is silent.
+    assert_eq!(diagnostics("bad_shard_escape.rs", "bench"), vec![]);
+}
+
+#[test]
+fn shard_escape_cross_file_field_requires_symbol_table() {
+    use gridvm_audit::analysis::{FileIndex, SymbolTable};
+    use gridvm_audit::lexer::tokenize;
+
+    // A shard.rs stand-in declaring `inbox_seq` as a *private* field
+    // and `world` as a `pub` one.
+    let shard_src = "pub struct SiteRuntime { inbox_seq: u64, pub world: World }\n";
+    let mut table = SymbolTable::default();
+    table.add_file(
+        "crates/simcore/src/shard.rs",
+        &FileIndex::build(&tokenize(shard_src)),
+    );
+
+    let (rel, src) = fixture("bad_shard_escape.rs");
+    // Without the symbol table the field poke is invisible.
+    let report = scan_source(&rel, &src, Some("simcore"), &Allowlist::default());
+    assert_eq!(report.findings.len(), 2);
+    // With it, `site.inbox_seq += 1` is a protocol violation...
+    let report = gridvm_audit::scan_source_with(
+        &rel,
+        &src,
+        Some("simcore"),
+        &Allowlist::default(),
+        Some(&table),
+    );
+    let diags: Vec<_> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.line, f.col))
+        .collect();
+    assert_eq!(
+        diags,
+        vec![
+            ("shard-state-escape", 5, 28),
+            ("shard-state-escape", 11, 17),
+            ("shard-state-escape", 20, 10),
+        ]
+    );
+    // ...while a `pub` field with the same owner stays legal: only
+    // the private `inbox_seq` is reported as protocol state, never
+    // the `pub world` field (the multisite regression).
+    assert!(!report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("`.world`")));
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.message.contains("`.inbox_seq`"))
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn bad_lock_order_fixture_exact_diagnostics() {
+    assert_eq!(
+        diagnostics("bad_lock_order.rs", "simcore"),
+        vec![
+            ("lock-order", 5, 24),
+            ("lock-order", 12, 25),
+            ("lock-order", 19, 28),
+        ]
+    );
+}
+
+#[test]
+fn bad_iter_taint_fixture_exact_diagnostics() {
+    assert_eq!(
+        diagnostics("bad_iter_taint.rs", "simcore"),
+        vec![
+            ("hash-container", 5, 16),
+            ("iter-order-taint", 7, 15),
+            ("hash-container", 12, 18),
+            ("float-accum", 15, 15),
+            ("iter-order-taint", 17, 11),
+        ]
+    );
+}
+
+#[test]
+fn bad_alloc_hot_fixture_fires_only_when_listed_hot() {
+    // Cold files may allocate freely.
+    assert_eq!(diagnostics("bad_alloc_hot.rs", "vnet"), vec![]);
+
+    let (rel, src) = fixture("bad_alloc_hot.rs");
+    let allow =
+        Allowlist::parse("[hot_paths]\npath = \"crates/audit/tests/fixtures/bad_alloc_hot.rs\"\n")
+            .expect("parses");
+    let report = scan_source(&rel, &src, Some("vnet"), &allow);
+    let diags: Vec<_> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.line, f.col))
+        .collect();
+    // `new()` is constructor-shaped and exempt; every allocation in
+    // `forward` is flagged.
+    assert_eq!(
+        diags,
+        vec![
+            ("alloc-in-hot", 17, 25),
+            ("alloc-in-hot", 18, 19),
+            ("alloc-in-hot", 19, 32),
+            ("alloc-in-hot", 20, 31),
+        ]
+    );
+}
+
+#[test]
+fn committed_rules_md_matches_generator() {
+    // RULES.md is generated (`--rules-md`); CI diffs it too, but this
+    // test catches drift before push.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let committed = std::fs::read_to_string(root.join("RULES.md")).expect("RULES.md exists");
+    assert_eq!(
+        committed,
+        gridvm_audit::render_rules_md(),
+        "RULES.md is stale: regenerate with \
+         `cargo run -p gridvm-audit -- --rules-md > RULES.md`"
+    );
+}
+
+#[test]
+fn workspace_scan_is_clean_under_repo_allowlist_and_baseline() {
+    // The repo's own audit.toml + audit_baseline.json must keep
+    // `--deny` green: zero active findings across the entire workspace
+    // and no stale suppression of any kind. This is the same check CI
     // runs via the binary.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -179,7 +321,11 @@ fn workspace_scan_is_clean_under_repo_allowlist() {
         .to_path_buf();
     let allow_text = std::fs::read_to_string(root.join("audit.toml")).expect("audit.toml exists");
     let allow = Allowlist::parse(&allow_text).expect("audit.toml parses");
-    let report = gridvm_audit::scan_workspace(&root, &allow).expect("scan succeeds");
+    let mut report = gridvm_audit::scan_workspace(&root, &allow).expect("scan succeeds");
+    let base_text =
+        std::fs::read_to_string(root.join("audit_baseline.json")).expect("baseline exists");
+    let base = gridvm_audit::config::Baseline::parse(&base_text).expect("baseline parses");
+    gridvm_audit::apply_baseline(&mut report, &base);
     let messages: Vec<String> = report
         .files
         .iter()
@@ -199,9 +345,27 @@ fn workspace_scan_is_clean_under_repo_allowlist() {
         "workspace scan saw {} files",
         report.scanned
     );
+    assert!(
+        report.baselined_findings() > 0,
+        "the committed baseline must absorb at least one finding or be deleted"
+    );
     assert_eq!(
         report.unused_allows,
         Vec::<usize>::new(),
         "stale audit.toml entries"
+    );
+    assert!(
+        report.unused_inline().is_empty(),
+        "stale inline audit:allow comments: {:?}",
+        report.unused_inline()
+    );
+    assert!(
+        report.stale_baseline.is_empty(),
+        "baseline entries with unused budget: {:?}",
+        report
+            .stale_baseline
+            .iter()
+            .map(|b| (&b.entry.path, &b.entry.rule, b.entry.count, b.used))
+            .collect::<Vec<_>>()
     );
 }

@@ -1,0 +1,179 @@
+//! Lexer edge cases and property tests: the scanner must never let
+//! comment or literal *contents* leak into the token stream, and must
+//! keep 1-based line/column positions consistent no matter how the
+//! same tokens are laid out.
+
+use gridvm_audit::lexer::{tokenize, TokenKind};
+use proptest::prelude::*;
+
+fn idents(src: &str) -> Vec<String> {
+    tokenize(src)
+        .iter()
+        .filter_map(|t| t.ident().map(str::to_owned))
+        .collect()
+}
+
+fn kinds(src: &str) -> Vec<TokenKind> {
+    tokenize(src).into_iter().map(|t| t.kind).collect()
+}
+
+#[test]
+fn raw_strings_with_hashes_are_single_literals() {
+    let src = r####"let x = r#"HashMap "quoted" inside"#; let y = r##"with "# inside"##;"####;
+    assert_eq!(
+        idents(src),
+        vec!["let", "x", "let", "y"],
+        "raw-string contents (and the `r` prefix) must not tokenize"
+    );
+    // The `r#...#` prefix folds into a single Literal token.
+    let lit_count = kinds(src)
+        .iter()
+        .filter(|k| **k == TokenKind::Literal)
+        .count();
+    assert_eq!(lit_count, 2);
+}
+
+#[test]
+fn nested_block_comments_are_skipped_entirely() {
+    let src = "a /* outer /* inner HashMap */ still comment */ b";
+    assert_eq!(idents(src), vec!["a", "b"]);
+}
+
+#[test]
+fn unterminated_block_comment_consumes_the_rest() {
+    let src = "a /* runs off the end\nHashMap::new()";
+    assert_eq!(idents(src), vec!["a"]);
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    // `'a` in a generic position is a lifetime; `'a'` is a char
+    // literal; `'\''` is an escaped char literal.
+    let src = "fn f<'a>(x: &'a str) { let c = 'a'; let q = '\\''; }";
+    let lifetimes = kinds(src)
+        .iter()
+        .filter(|k| **k == TokenKind::Lifetime)
+        .count();
+    let literals = kinds(src)
+        .iter()
+        .filter(|k| **k == TokenKind::Literal)
+        .count();
+    assert_eq!(lifetimes, 2, "two uses of 'a as a lifetime");
+    assert_eq!(literals, 2, "two char literals");
+}
+
+#[test]
+fn byte_and_raw_byte_strings_fold_to_literals() {
+    let src = r###"let a = b"bytes with spaces"; let b2 = br#"raw "bytes""#; let c = b'x';"###;
+    assert_eq!(idents(src), vec!["let", "a", "let", "b2", "let", "c"]);
+    let literals = kinds(src)
+        .iter()
+        .filter(|k| **k == TokenKind::Literal)
+        .count();
+    assert_eq!(literals, 3);
+}
+
+#[test]
+fn string_escapes_do_not_terminate_early() {
+    let src = r#"let s = "quote \" and backslash \\"; after"#;
+    assert_eq!(idents(src), vec!["let", "s", "after"]);
+}
+
+#[test]
+fn line_comment_to_eol_only() {
+    let src = "x // comment HashMap\ny";
+    let toks = tokenize(src);
+    assert_eq!(idents(src), vec!["x", "y"]);
+    assert_eq!(toks[1].line, 2, "y is on line 2");
+    assert_eq!(toks[1].col, 1);
+}
+
+/// Renders fragment choice `(kind, n)` to source text plus the exact
+/// tokens it must contribute.
+fn fragment(kind: u8, n: u64) -> (String, Vec<TokenKind>) {
+    match kind {
+        0 => {
+            let s = format!("id{n}");
+            let k = vec![TokenKind::Ident(s.clone())];
+            (s, k)
+        }
+        1 => (format!("{n}"), vec![TokenKind::Number]),
+        2 => {
+            const PUNCTS: &[char] = &['.', ';', ',', '+', '=', '!', '(', ')'];
+            let c = PUNCTS[n as usize % PUNCTS.len()];
+            (c.to_string(), vec![TokenKind::Punct(c)])
+        }
+        3 => (format!("\"s{n}\""), vec![TokenKind::Literal]),
+        4 => (format!("r#\"raw {n}\"#"), vec![TokenKind::Literal]),
+        _ => (format!("'lt{n}"), vec![TokenKind::Lifetime]),
+    }
+}
+
+/// Separator choice: layout and comments the lexer must treat as
+/// invisible.
+fn separator(kind: u8) -> &'static str {
+    match kind {
+        0 => " ",
+        1 => "\n",
+        2 => "\t",
+        3 => " /* c */ ",
+        4 => " // eol\n",
+        _ => " /* a /* nested */ b */\n",
+    }
+}
+
+proptest! {
+    /// Joining fragments with whitespace/comments must produce
+    /// exactly the concatenation of their token streams: comments and
+    /// layout are invisible, and every token's (line, col) points at
+    /// source inside the file, advancing monotonically.
+    #[test]
+    fn fragments_roundtrip_through_layout(
+        frags in collection::vec((0u8..6, 0u64..1000), 0..12),
+        seps in collection::vec(0u8..6, 0..12),
+    ) {
+        let mut src = String::new();
+        let mut want: Vec<TokenKind> = Vec::new();
+        for (i, (kind, n)) in frags.iter().enumerate() {
+            let (text, toks) = fragment(*kind, *n);
+            src.push_str(&text);
+            want.extend(toks);
+            src.push_str(seps.get(i).map(|s| separator(*s)).unwrap_or("\n"));
+        }
+        let got = tokenize(&src);
+        let got_kinds: Vec<TokenKind> = got.iter().map(|t| t.kind.clone()).collect();
+        prop_assert_eq!(&got_kinds, &want, "source: {src:?}");
+
+        let lines: Vec<&str> = src.split('\n').collect();
+        let mut prev = (0u32, 0u32);
+        for t in &got {
+            prop_assert!(
+                (t.line, t.col) > prev,
+                "non-monotonic position in {src:?}"
+            );
+            prev = (t.line, t.col);
+            let line = lines.get(t.line as usize - 1).expect("line in file");
+            prop_assert!(
+                (t.col as usize - 1) < line.chars().count(),
+                "col {} beyond line {:?}",
+                t.col,
+                line
+            );
+        }
+    }
+
+    /// The lexer must never panic and never emit positions outside
+    /// the source, whatever bytes it is fed (printable ASCII soup —
+    /// quotes, slashes, and hashes included, so string/comment state
+    /// machines get stressed).
+    #[test]
+    fn arbitrary_input_never_panics(bytes in collection::vec(0x20u8..0x7f, 0..200)) {
+        let src = String::from_utf8(bytes).expect("printable ascii");
+        let toks = tokenize(&src);
+        let line_count = src.split('\n').count() as u32;
+        for t in &toks {
+            prop_assert!(t.line >= 1 && t.line <= line_count, "line out of range");
+            prop_assert!(t.col >= 1);
+        }
+    }
+}

@@ -141,6 +141,9 @@ pub struct HostSim {
     ran_last: BTreeSet<TaskId>,
     busy: SimDuration,
     crash_at: Option<SimTime>,
+    /// Scratch buffer handed to `Scheduler::select_into` each quantum
+    /// so the hot loop does not allocate.
+    picked_buf: Vec<TaskId>,
 }
 
 impl std::fmt::Debug for HostSim {
@@ -169,6 +172,7 @@ impl HostSim {
             ran_last: BTreeSet::new(),
             busy: SimDuration::ZERO,
             crash_at: None,
+            picked_buf: Vec::new(),
         }
     }
 
@@ -314,15 +318,23 @@ impl HostSim {
             self.ran_last.clear();
             return;
         }
-        let picked =
-            self.scheduler
-                .select(&runnable, self.config.cores, now, quantum, &mut self.rng);
+        // Reuse the host-owned pick buffer: the scheduler writes into
+        // it, so the steady-state quantum loop performs no allocation.
+        let mut picked = std::mem::take(&mut self.picked_buf);
+        self.scheduler.select_into(
+            &runnable,
+            self.config.cores,
+            now,
+            quantum,
+            &mut self.rng,
+            &mut picked,
+        );
         debug_assert!(
             picked.len() <= self.config.cores,
             "scheduler oversubscribed"
         );
         let mut ran_now = BTreeSet::new();
-        for id in picked {
+        for &id in &picked {
             debug_assert!(runnable.contains(&id), "scheduler picked unrunnable {id}");
             let switched = !self.ran_last.contains(&id);
             let task = self.tasks.get_mut(&id).expect("picked task exists");
@@ -378,6 +390,7 @@ impl HostSim {
                 }
             }
         }
+        self.picked_buf = picked;
         self.ran_last = ran_now;
         self.now += quantum;
     }

@@ -41,6 +41,10 @@ pub struct EdfScheduler {
     /// Keyed by `TaskId.0` — task ids are small and densely assigned.
     reserved: DenseMap<RtEntry>,
     best_effort: DenseMap<f64>, // round-robin credit
+    /// Scratch buffers reused across quanta so steady-state selection
+    /// allocates nothing.
+    rt_scratch: Vec<(SimTime, TaskId)>,
+    be_scratch: Vec<TaskId>,
 }
 
 impl EdfScheduler {
@@ -124,42 +128,44 @@ impl Scheduler for EdfScheduler {
         self.best_effort.remove(id.0);
     }
 
-    fn select(
+    fn select_into(
         &mut self,
         runnable: &[TaskId],
         cores: usize,
         now: SimTime,
         quantum: SimDuration,
         _rng: &mut SimRng,
-    ) -> Vec<TaskId> {
+        out: &mut Vec<TaskId>,
+    ) {
+        out.clear();
         if runnable.is_empty() || cores == 0 {
-            return Vec::new();
+            return;
         }
         self.replenish(now);
         // Reserved tasks with budget, earliest deadline first.
-        let mut rt: Vec<(SimTime, TaskId)> = runnable
-            .iter()
-            .filter_map(|id| {
-                self.reserved.get(id.0).and_then(|e| {
-                    if e.budget > SimDuration::ZERO {
-                        Some((e.deadline, *id))
-                    } else {
-                        None
-                    }
-                })
-            })
-            .collect();
+        let mut rt = std::mem::take(&mut self.rt_scratch);
+        rt.clear();
+        for id in runnable {
+            if let Some(e) = self.reserved.get(id.0) {
+                if e.budget > SimDuration::ZERO {
+                    rt.push((e.deadline, *id));
+                }
+            }
+        }
         rt.sort();
-        let mut picked: Vec<TaskId> = rt.into_iter().take(cores).map(|(_, id)| id).collect();
+        out.extend(rt.iter().take(cores).map(|&(_, id)| id));
+        self.rt_scratch = rt;
         // Fill remaining cores with best-effort tasks (highest RR
         // credit first), then with out-of-budget reserved tasks so the
         // host stays work-conserving.
-        if picked.len() < cores {
-            let mut be: Vec<TaskId> = runnable
-                .iter()
-                .filter(|id| self.best_effort.contains_key(id.0) && !picked.contains(id))
-                .copied()
-                .collect();
+        if out.len() < cores {
+            let mut be = std::mem::take(&mut self.be_scratch);
+            be.clear();
+            be.extend(
+                runnable
+                    .iter()
+                    .filter(|id| self.best_effort.contains_key(id.0) && !out.contains(id)),
+            );
             let q = quantum.as_secs_f64();
             for id in &be {
                 if let Some(c) = self.best_effort.get_mut(id.0) {
@@ -174,24 +180,24 @@ impl Scheduler for EdfScheduler {
                     .expect("credits are finite")
                     .then_with(|| a.cmp(b))
             });
-            for id in be {
-                if picked.len() == cores {
+            for id in &be {
+                if out.len() == cores {
                     break;
                 }
-                picked.push(id);
+                out.push(*id);
             }
+            self.be_scratch = be;
         }
-        if picked.len() < cores {
+        if out.len() < cores {
             for id in runnable {
-                if picked.len() == cores {
+                if out.len() == cores {
                     break;
                 }
-                if !picked.contains(id) {
-                    picked.push(*id);
+                if !out.contains(id) {
+                    out.push(*id);
                 }
             }
         }
-        picked
     }
 
     fn charge(&mut self, id: TaskId, used: SimDuration) {

@@ -32,6 +32,9 @@ pub struct LotteryScheduler {
     /// Keyed by `TaskId.0` — task ids are small and densely assigned.
     tickets: DenseMap<u32>,
     quanta_granted: DenseMap<u64>,
+    /// Scratch ticket pool reused across quanta so steady-state draws
+    /// allocate nothing.
+    draw_pool: Vec<(TaskId, u32)>,
 }
 
 impl LotteryScheduler {
@@ -57,28 +60,28 @@ impl Scheduler for LotteryScheduler {
         self.quanta_granted.remove(id.0);
     }
 
-    fn select(
+    fn select_into(
         &mut self,
         runnable: &[TaskId],
         cores: usize,
         _now: SimTime,
         _quantum: SimDuration,
         rng: &mut SimRng,
-    ) -> Vec<TaskId> {
+        out: &mut Vec<TaskId>,
+    ) {
+        out.clear();
         if runnable.is_empty() || cores == 0 {
-            return Vec::new();
+            return;
         }
-        let mut pool: Vec<(TaskId, u32)> = runnable
-            .iter()
-            .map(|id| {
-                let t = *self
-                    .tickets
-                    .get(id.0)
-                    .unwrap_or_else(|| panic!("{id} not registered"));
-                (*id, t)
-            })
-            .collect();
-        let mut winners = Vec::with_capacity(cores.min(pool.len()));
+        let mut pool = std::mem::take(&mut self.draw_pool);
+        pool.clear();
+        for id in runnable {
+            let t = *self
+                .tickets
+                .get(id.0)
+                .unwrap_or_else(|| panic!("{id} not registered"));
+            pool.push((*id, t));
+        }
         for _ in 0..cores.min(runnable.len()) {
             let total: u64 = pool.iter().map(|(_, t)| u64::from(*t)).sum();
             if total == 0 {
@@ -100,9 +103,9 @@ impl Scheduler for LotteryScheduler {
                     self.quanta_granted.insert(winner.0, 1);
                 }
             }
-            winners.push(winner);
+            out.push(winner);
         }
-        winners
+        self.draw_pool = pool;
     }
 
     fn charge(&mut self, _id: TaskId, _used: SimDuration) {

@@ -100,10 +100,26 @@ pub trait Scheduler {
     fn remove_task(&mut self, id: TaskId);
 
     /// Chooses at most `cores` distinct tasks from `runnable` to run
-    /// for the quantum beginning at `now`.
+    /// for the quantum beginning at `now`, writing the picks into
+    /// `out` (cleared first). The caller owns and reuses the buffer,
+    /// so a steady-state simulation loop allocates nothing per
+    /// quantum.
     ///
     /// `runnable` is ordered by task id (the host guarantees this), so
     /// policies that iterate produce deterministic results.
+    fn select_into(
+        &mut self,
+        runnable: &[TaskId],
+        cores: usize,
+        now: SimTime,
+        quantum: SimDuration,
+        rng: &mut SimRng,
+        out: &mut Vec<TaskId>,
+    );
+
+    /// Allocating convenience wrapper over
+    /// [`select_into`](Self::select_into) for tests and one-shot
+    /// callers; hot loops should hold a buffer and call `select_into`.
     fn select(
         &mut self,
         runnable: &[TaskId],
@@ -111,7 +127,11 @@ pub trait Scheduler {
         now: SimTime,
         quantum: SimDuration,
         rng: &mut SimRng,
-    ) -> Vec<TaskId>;
+    ) -> Vec<TaskId> {
+        let mut out = Vec::with_capacity(cores.min(runnable.len()));
+        self.select_into(runnable, cores, now, quantum, rng, &mut out);
+        out
+    }
 
     /// Reports that `id` actually consumed `used` CPU during the last
     /// quantum (may be less than the quantum when the task finished).

@@ -81,16 +81,18 @@ impl Scheduler for StrideScheduler {
         self.tasks.remove(id.0);
     }
 
-    fn select(
+    fn select_into(
         &mut self,
         runnable: &[TaskId],
         cores: usize,
         _now: SimTime,
         quantum: SimDuration,
         _rng: &mut SimRng,
-    ) -> Vec<TaskId> {
+        out: &mut Vec<TaskId>,
+    ) {
+        out.clear();
         if runnable.is_empty() || cores == 0 {
-            return Vec::new();
+            return;
         }
         self.last_quantum = quantum;
         let pass = |id: TaskId| {
@@ -99,16 +101,15 @@ impl Scheduler for StrideScheduler {
                 .unwrap_or_else(|| panic!("{id} not registered"))
                 .pass
         };
-        let mut order: Vec<TaskId> = runnable.to_vec();
-        order.sort_by(|a, b| {
+        out.extend_from_slice(runnable);
+        out.sort_by(|a, b| {
             let pa = pass(*a);
             let pb = pass(*b);
             pa.partial_cmp(&pb)
                 .expect("pass values are finite")
                 .then_with(|| a.cmp(b))
         });
-        order.truncate(cores);
-        order
+        out.truncate(cores);
     }
 
     fn charge(&mut self, id: TaskId, used: SimDuration) {

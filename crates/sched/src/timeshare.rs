@@ -73,16 +73,18 @@ impl Scheduler for TimeShareScheduler {
         self.tasks.remove(id.0);
     }
 
-    fn select(
+    fn select_into(
         &mut self,
         runnable: &[TaskId],
         cores: usize,
         _now: SimTime,
         quantum: SimDuration,
         _rng: &mut SimRng,
-    ) -> Vec<TaskId> {
+        out: &mut Vec<TaskId>,
+    ) {
+        out.clear();
         if runnable.is_empty() || cores == 0 {
-            return Vec::new();
+            return;
         }
         // Accrue credit to every runnable task in proportion to its
         // weight, then run the highest-credit tasks.
@@ -103,16 +105,15 @@ impl Scheduler for TimeShareScheduler {
             e.credit += q * f64::from(e.weight) / total_weight as f64 * cores as f64;
         }
         let credit = |id: TaskId| self.tasks.get(id.0).expect("checked above").credit;
-        let mut order: Vec<TaskId> = runnable.to_vec();
-        order.sort_by(|a, b| {
+        out.extend_from_slice(runnable);
+        out.sort_by(|a, b| {
             let ca = credit(*a);
             let cb = credit(*b);
             cb.partial_cmp(&ca)
                 .expect("credits are finite")
                 .then_with(|| a.cmp(b))
         });
-        order.truncate(cores);
-        order
+        out.truncate(cores);
     }
 
     fn charge(&mut self, id: TaskId, used: SimDuration) {

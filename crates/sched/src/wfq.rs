@@ -70,16 +70,18 @@ impl Scheduler for WfqScheduler {
         self.tasks.remove(id.0);
     }
 
-    fn select(
+    fn select_into(
         &mut self,
         runnable: &[TaskId],
         cores: usize,
         _now: SimTime,
         _quantum: SimDuration,
         _rng: &mut SimRng,
-    ) -> Vec<TaskId> {
+        out: &mut Vec<TaskId>,
+    ) {
+        out.clear();
         if runnable.is_empty() || cores == 0 {
-            return Vec::new();
+            return;
         }
         // Floor returning tasks to the current virtual time so a task
         // that slept cannot accumulate unbounded credit.
@@ -93,21 +95,20 @@ impl Scheduler for WfqScheduler {
             }
         }
         let finish = |id: TaskId| self.tasks.get(id.0).expect("floored above").finish;
-        let mut order: Vec<TaskId> = runnable.to_vec();
-        order.sort_by(|a, b| {
+        out.extend_from_slice(runnable);
+        out.sort_by(|a, b| {
             let fa = finish(*a);
             let fb = finish(*b);
             fa.partial_cmp(&fb)
                 .expect("finish tags are finite")
                 .then_with(|| a.cmp(b))
         });
-        order.truncate(cores);
+        out.truncate(cores);
         // Advance the system virtual clock to the smallest selected
         // tag: virtual time tracks the head of the schedule.
-        if let Some(first) = order.first() {
+        if let Some(first) = out.first() {
             self.virtual_time = self.virtual_time.max(finish(*first));
         }
-        order
     }
 
     fn charge(&mut self, id: TaskId, used: SimDuration) {

@@ -419,6 +419,7 @@ impl<W: ShardWorld> ShardedSim<W> {
         let mut per_window = Vec::new();
         std::thread::scope(|scope| {
             for _ in 0..threads {
+                // audit:allow(shard-state-escape): scoped worker borrows the epoch barrier; threads join at scope end before any result is read
                 scope.spawn(|| loop {
                     barrier.wait();
                     if !running.load(Ordering::Acquire) {

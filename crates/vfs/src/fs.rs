@@ -211,6 +211,7 @@ impl InMemoryFs {
             dir,
             name,
             Node::File {
+                // audit:allow(alloc-in-hot): file creation owns the new node's backing store by contract; steady-state reads never reach here
                 data: FileData::Materialized(Vec::new()),
                 mtime: now,
             },
@@ -280,6 +281,7 @@ impl InMemoryFs {
         match self.node(dir)? {
             Node::Dir { entries, .. } => {
                 if entries.contains_key(name) {
+                    // audit:allow(alloc-in-hot): error construction on the name-collision path; the error owns its name by API contract
                     return Err(FsError::Exists(name.to_owned()));
                 }
             }
@@ -288,6 +290,7 @@ impl InMemoryFs {
         let h = self.alloc(node);
         match self.node_mut(dir)? {
             Node::Dir { entries, mtime } => {
+                // audit:allow(alloc-in-hot): namespace mutation stores the new entry's name; allocation is the operation itself
                 entries.insert(name.to_owned(), h);
                 *mtime = now;
             }

@@ -142,6 +142,7 @@ impl Overlay {
         self.nodes.push(id);
         // Ids are issued sequentially, so `alive` stays index == id.
         self.alive.push(true);
+        // audit:allow(alloc-in-hot): topology construction, not packet forwarding; nodes are added during setup and after faults only
         self.adj.insert(u64::from(id.0), Vec::new());
         self.topo_version += 1;
         id
@@ -186,6 +187,7 @@ impl Overlay {
     /// adjacency list sorted by neighbor id.
     fn set_link(&mut self, a: NodeId, b: NodeId, latency: SimDuration) {
         if self.adj.get(u64::from(a.0)).is_none() {
+            // audit:allow(alloc-in-hot): link installation is a topology-change event, not part of the per-packet path
             self.adj.insert(u64::from(a.0), Vec::new());
         }
         let list = self.adj.get_mut(u64::from(a.0)).expect("list just ensured");
