@@ -25,6 +25,7 @@ use gridvm_bench::harness::{self, m, Experiment, Measurement, Options, SampleCtx
 use gridvm_core::multisite::{build_vo, VoConfig};
 use gridvm_simcore::engine::Engine;
 use gridvm_simcore::event::EventQueue;
+use gridvm_simcore::hist::Histogram;
 use gridvm_simcore::lru::LruSet;
 use gridvm_simcore::metrics::Counter;
 use gridvm_simcore::slot::SlotMap;
@@ -39,7 +40,7 @@ use gridvm_vnet::overlay::{NodeId, Overlay};
 struct Baseline;
 
 /// Scenario labels; `run_sample` dispatches on index.
-const SCENARIOS: [&str; 10] = [
+const SCENARIOS: [&str; 11] = [
     "engine: chained events",
     "queue: push+pop random times",
     "queue: push/cancel/drain mix",
@@ -50,6 +51,7 @@ const SCENARIOS: [&str; 10] = [
     "slot: insert/remove/get churn",
     "shard: cross-shard mailbox churn",
     "shard: 4-site speedup 1 vs 4 shards",
+    "metrics: histogram record+merge",
 ];
 
 /// Events/operations per sample at full size (quick mode divides by
@@ -300,6 +302,27 @@ impl Experiment for Baseline {
                     m("speedup_wall_x", wall1.as_secs_f64().max(1e-9) / secs4),
                     m("speedup_model_x", four.model_speedup()),
                 ];
+            }
+            10 => {
+                // The streaming-metrics hot path at macro scale:
+                // values land in per-shard log-scale histograms which
+                // then roll up into one VO-level summary — the shape
+                // of every ext_vo_scale completion record. Gated so
+                // the record path stays O(1) and the rollup stays an
+                // element-wise integer add.
+                let values: Vec<u64> = (0..n).map(|_| 1 + rng.next_u64() % 1_000_000).collect();
+                let started = Instant::now();
+                let mut shards: Vec<Histogram> = (0..8).map(|_| Histogram::default()).collect();
+                for (i, v) in values.iter().enumerate() {
+                    shards[i & 7].record(*v);
+                }
+                let mut merged = Histogram::default();
+                for s in &shards {
+                    merged.merge(s);
+                }
+                assert_eq!(merged.count(), n);
+                assert!(merged.p999() >= merged.p50());
+                (n, started.elapsed())
             }
             other => unreachable!("unknown scenario {other}"),
         };

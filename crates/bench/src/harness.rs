@@ -496,6 +496,14 @@ pub fn render_report(report: &ExperimentReport) -> String {
              causal history in trace-based checks is truncated"
         );
     }
+    let mut first_hist = true;
+    for (name, h) in report.metrics.histograms() {
+        if first_hist {
+            let _ = writeln!(out);
+            first_hist = false;
+        }
+        let _ = writeln!(out, "hist {name}: {h}");
+    }
     let _ = write!(
         out,
         "\nelapsed {:.2} s on {} thread{}",
@@ -598,11 +606,31 @@ fn jmetrics(m: &Metrics) -> String {
             )
         })
         .collect();
+    let histograms: Vec<String> = m
+        .histograms()
+        .map(|(k, h)| {
+            if h.is_empty() {
+                return format!(r#""{}":{{"count":0}}"#, json_escape(k));
+            }
+            format!(
+                r#""{}":{{"count":{},"min":{},"p50":{},"p99":{},"p999":{},"max":{},"mean":{}}}"#,
+                json_escape(k),
+                h.count(),
+                h.min(),
+                h.p50(),
+                h.p99(),
+                h.p999(),
+                h.max(),
+                jnum(h.mean())
+            )
+        })
+        .collect();
     format!(
-        r#"{{"counters":{{{}}},"gauges":{{{}}},"timers":{{{}}}}}"#,
+        r#"{{"counters":{{{}}},"gauges":{{{}}},"timers":{{{}}},"histograms":{{{}}}}}"#,
         counters.join(","),
         gauges.join(","),
-        timers.join(",")
+        timers.join(","),
+        histograms.join(",")
     )
 }
 
@@ -748,6 +776,7 @@ mod tests {
         ) -> Vec<Measurement> {
             let mut rng = ctx.rng();
             gridvm_simcore::metrics::counter_add("toy.samples", 1);
+            gridvm_simcore::metrics::histogram_record("toy.value_x1000", 1 + scenario.index as u64);
             vec![
                 m("value", rng.next_f64() + scenario.index as f64),
                 m("draws", 1.0),
@@ -819,6 +848,7 @@ mod tests {
             r#""measurements":{"#,
             r#""value":{"count":2,"mean":"#,
             r#""counters":{"toy.samples":2}"#,
+            r#""histograms":{"toy.value_x1000":{"count":2,"min":1,"#,
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -834,6 +864,10 @@ mod tests {
         let mut report = run_experiment(&Toy, &opts);
         let text = render_report(&report);
         assert!(!text.contains("WARNING"), "no drops, no warning");
+        assert!(
+            text.contains("hist toy.value_x1000:"),
+            "report lists histograms"
+        );
         report.metrics.counter_add("trace.dropped", 5);
         let text = render_report(&report);
         assert!(text.contains("WARNING") && text.contains("5"));

@@ -32,6 +32,13 @@
 //!   most once.
 //! * [`stats`] — online statistics (Welford), histograms and series
 //!   summaries used by every experiment harness.
+//! * [`hist`] — streaming log-scale [`Histogram`](hist::Histogram)s
+//!   with integer-exact merge: constant memory per named series,
+//!   p50/p99/p999 extraction, bit-identical rollups at any
+//!   shard/thread count.
+//! * [`sample`] — deterministic sampling: the seeded
+//!   [`Reservoir`](sample::Reservoir) and the stratified per-category
+//!   keep decision behind sampled trace logs.
 //! * [`metrics`] — counter/gauge/timer registries recorded into a
 //!   thread-local per-replication context and merged across
 //!   replications; pre-resolved [`metrics::Counter`] handles keep
@@ -85,10 +92,12 @@ pub mod audit;
 pub mod engine;
 pub mod event;
 pub mod fault;
+pub mod hist;
 pub mod lru;
 pub mod metrics;
 pub mod replication;
 pub mod rng;
+pub mod sample;
 pub mod server;
 pub mod shard;
 pub mod slot;
@@ -99,10 +108,12 @@ pub mod units;
 
 pub use engine::Engine;
 pub use fault::{FaultFeed, FaultKind, FaultPlan};
+pub use hist::Histogram;
 pub use lru::LruSet;
 pub use metrics::Metrics;
 pub use replication::{ReplicationCtx, ReplicationRunner};
 pub use rng::SimRng;
+pub use sample::Reservoir;
 pub use shard::{ShardWorld, ShardedSim, SiteId, SiteState};
 pub use stats::OnlineStats;
 pub use time::{SimDuration, SimTime};

@@ -35,6 +35,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
 
+use crate::hist::Histogram;
 use crate::stats::OnlineStats;
 
 /// Aggregate of one timer: invocation count plus the distribution of
@@ -71,6 +72,7 @@ pub struct Metrics {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, OnlineStats>,
     timers: BTreeMap<&'static str, TimerStat>,
+    histograms: BTreeMap<&'static str, Histogram>,
 }
 
 impl Metrics {
@@ -81,7 +83,18 @@ impl Metrics {
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.timers.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.timers.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Total named series tracked (counters + gauges + timers +
+    /// histograms). The memory-bound the macro-scale soak tests
+    /// assert: a million-session run must keep this proportional to
+    /// the *kinds* of quantities measured, never the session count.
+    pub fn tracked_entries(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.timers.len() + self.histograms.len()
     }
 
     /// Adds `delta` to the named counter.
@@ -103,6 +116,19 @@ impl Metrics {
         self.timers.entry(name).or_default().stats.record(secs);
     }
 
+    /// Records one value into the named log-scale histogram (created
+    /// with the default [`Histogram`] layout on first touch).
+    /// Constant memory per name — the streaming replacement for
+    /// unbounded per-sample growth at macro scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is above the default layout's top bucket; see
+    /// [`Histogram::record`].
+    pub fn histogram_record(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
     /// The named counter's value (0 when never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -116,6 +142,11 @@ impl Metrics {
     /// The named timer's aggregate, when recorded.
     pub fn timer(&self, name: &str) -> Option<&TimerStat> {
         self.timers.get(name)
+    }
+
+    /// The named histogram, when recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
     }
 
     /// All counters, name-ordered.
@@ -133,6 +164,11 @@ impl Metrics {
         self.timers.iter().map(|(k, v)| (*k, v))
     }
 
+    /// All histograms, name-ordered.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
     /// Folds another registry into this one: counters add, gauge and
     /// timer distributions merge. Deterministic given the merge order,
     /// which the replication runner fixes to replication-index order.
@@ -145,6 +181,9 @@ impl Metrics {
         }
         for (name, t) in &other.timers {
             self.timers.entry(name).or_default().stats.merge(&t.stats);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
         }
     }
 }
@@ -164,6 +203,9 @@ impl fmt::Display for Metrics {
                 t.count(),
                 t.total_secs()
             )?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(f, "hist    {name} = {h}")?;
         }
         Ok(())
     }
@@ -332,6 +374,12 @@ pub fn timer_record(name: &'static str, secs: f64) {
     CONTEXT.with(|c| c.borrow_mut().timer_record(name, secs));
 }
 
+/// Records a value into a log-scale histogram in this thread's
+/// context. See [`Metrics::histogram_record`].
+pub fn histogram_record(name: &'static str, v: u64) {
+    CONTEXT.with(|c| c.borrow_mut().histogram_record(name, v));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,7 +509,55 @@ mod tests {
         m.counter_add("a.count", 1);
         m.gauge_set("b.gauge", 1.0);
         m.timer_record("c.timer", 0.1);
+        m.histogram_record("d.hist", 42);
         let s = m.to_string();
         assert!(s.contains("a.count") && s.contains("b.gauge") && s.contains("c.timer"));
+        assert!(s.contains("d.hist") && s.contains("p99="), "{s}");
+    }
+
+    #[test]
+    fn histograms_record_merge_and_stay_bounded() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        let mut whole = Metrics::new();
+        for v in 1..=1000u64 {
+            whole.histogram_record("lat", v);
+            if v % 2 == 0 {
+                a.histogram_record("lat", v);
+            } else {
+                b.histogram_record("lat", v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "split-and-merge is bit-identical");
+        let h = a.histogram("lat").expect("recorded");
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        // One named series no matter how many values flowed through.
+        assert_eq!(a.tracked_entries(), 1);
+        assert!(a.histograms().count() == 1);
+    }
+
+    #[test]
+    fn histogram_free_function_lands_in_context() {
+        reset();
+        histogram_record("ctx.hist", 7);
+        histogram_record("ctx.hist", 9);
+        let m = take();
+        assert_eq!(m.histogram("ctx.hist").map(|h| h.count()), Some(2));
+        assert!(m.histogram("absent").is_none());
+    }
+
+    #[test]
+    fn tracked_entries_counts_kinds_not_values() {
+        let mut m = Metrics::new();
+        assert_eq!(m.tracked_entries(), 0);
+        for _ in 0..100 {
+            m.counter_add("k.count", 1);
+            m.gauge_set("k.gauge", 0.5);
+            m.timer_record("k.timer", 0.1);
+            m.histogram_record("k.hist", 3);
+        }
+        assert_eq!(m.tracked_entries(), 4);
     }
 }

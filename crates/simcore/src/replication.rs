@@ -63,6 +63,16 @@ pub fn derive_seed_sharded(master_seed: u64, replication_index: u64, shard_index
     mix_shard(derive_seed(master_seed, replication_index), shard_index)
 }
 
+/// Derives an independent sub-stream of one site's seed — stream 0
+/// for the workload RNG, stream 1 for trace-sampling decisions, and
+/// so on. A further full mix round over an offset base, so stream
+/// seeds alias neither each other nor any `(master, index, shard)`
+/// seed: the macro-scale worlds need a site's sampling decisions to
+/// stay fixed when its workload draw count changes.
+pub fn derive_seed_stream(site_seed: u64, stream_index: u64) -> u64 {
+    mix_shard(site_seed ^ 0x5851_F42D_4C95_7F2D, stream_index)
+}
+
 /// What one replication closure receives: its index and derived seed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReplicationCtx {

@@ -1,0 +1,186 @@
+//! Deterministic sampling primitives: a seeded reservoir and the
+//! stratified hash-based keep decision behind trace sampling.
+//!
+//! Macro-scale runs produce event streams far larger than memory; the
+//! observability layer keeps a *representative, reproducible* subset
+//! instead. Both primitives here are pure functions of their seed and
+//! the input sequence — no wall clock, no global RNG — so two runs of
+//! the same world keep exactly the same items, and the golden-trace
+//! tests can pin digests over the sampled stream.
+
+use crate::rng::SimRng;
+
+/// A fixed-capacity uniform sample over a stream of unknown length
+/// (Vitter's Algorithm R), seeded so the kept set is a pure function
+/// of `(seed, input sequence)`.
+///
+/// ```
+/// use gridvm_simcore::sample::Reservoir;
+///
+/// let mut r = Reservoir::new(4, 42);
+/// for v in 0..1000 {
+///     r.offer(v);
+/// }
+/// assert_eq!(r.len(), 4);
+/// assert_eq!(r.seen(), 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Reservoir<T> {
+    items: Vec<T>,
+    capacity: usize,
+    seen: u64,
+    rng: SimRng,
+}
+
+impl<T> Reservoir<T> {
+    /// An empty reservoir keeping at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero — a reservoir that can keep
+    /// nothing silently discards the whole stream, which is never
+    /// what a sampling caller meant.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "Reservoir capacity must be positive");
+        Reservoir {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// Offers one stream item; each of the `seen` items so far ends
+    /// up retained with equal probability `capacity / seen`.
+    pub fn offer(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return;
+        }
+        let j = self.rng.next_below(self.seen);
+        if (j as usize) < self.capacity {
+            self.items[j as usize] = item;
+        }
+    }
+
+    /// The retained sample, in slot order (not stream order once the
+    /// reservoir has wrapped).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Total items offered.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Retained item count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// The stratified Bernoulli keep decision used by sampled trace logs:
+/// item `seq` of stratum `category` under `seed` is kept iff a hash
+/// of the triple lands below `rate_per_mille`. Deterministic, O(1),
+/// stateless — every shard makes identical decisions for identical
+/// streams, so sampled digests are shard/thread invariant.
+pub fn keep_per_mille(seed: u64, category: &str, seq: u64, rate_per_mille: u32) -> bool {
+    if rate_per_mille >= 1000 {
+        return true;
+    }
+    if rate_per_mille == 0 {
+        return false;
+    }
+    let mut h = crate::fault::Fnv::new();
+    h.mix(&seed.to_le_bytes());
+    h.mix(category.as_bytes());
+    h.mix(&seq.to_le_bytes());
+    (h.finish() % 1000) < u64::from(rate_per_mille)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_is_deterministic_in_its_seed() {
+        let collect = |seed| {
+            let mut r = Reservoir::new(8, seed);
+            for v in 0..10_000u64 {
+                r.offer(v);
+            }
+            r.items().to_vec()
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8), "seed matters");
+    }
+
+    #[test]
+    fn reservoir_keeps_everything_below_capacity() {
+        let mut r = Reservoir::new(16, 1);
+        for v in 0..10u64 {
+            r.offer(v);
+        }
+        assert_eq!(r.items(), (0..10).collect::<Vec<_>>().as_slice());
+        assert_eq!(r.capacity(), 16);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn reservoir_sample_is_roughly_uniform() {
+        // Offer 0..n many times with different seeds; every decile of
+        // the stream must be represented overall — Algorithm R does
+        // not favour the head or the tail.
+        let mut decile_hits = [0u32; 10];
+        for seed in 0..200u64 {
+            let mut r = Reservoir::new(10, seed);
+            for v in 0..1000u64 {
+                r.offer(v);
+            }
+            for &v in r.items() {
+                decile_hits[(v / 100) as usize] += 1;
+            }
+        }
+        for (i, &hits) in decile_hits.iter().enumerate() {
+            assert!(
+                (100..400).contains(&hits),
+                "decile {i} has {hits} hits across 200 seeds \
+                 (expected ~200 each)"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_reservoir_panics() {
+        let _: Reservoir<u8> = Reservoir::new(0, 1);
+    }
+
+    #[test]
+    fn keep_decision_edges_and_rate() {
+        assert!(keep_per_mille(1, "x", 0, 1000));
+        assert!(!keep_per_mille(1, "x", 0, 0));
+        let kept = (0..10_000u64)
+            .filter(|&i| keep_per_mille(99, "vo", i, 100))
+            .count();
+        // 10% nominal rate; the hash is uniform enough for ±3%.
+        assert!((700..1300).contains(&kept), "kept {kept} of 10000");
+        assert_eq!(
+            keep_per_mille(5, "a", 3, 500),
+            keep_per_mille(5, "a", 3, 500),
+            "pure function"
+        );
+    }
+}

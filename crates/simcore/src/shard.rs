@@ -320,6 +320,34 @@ impl<W: ShardWorld> ShardedSim<W> {
         self.total_events as f64 / self.critical_events as f64
     }
 
+    /// Trace entries currently retained across all sites — the
+    /// observability memory bound the macro-scale soak tests assert:
+    /// with sampled per-site logs (install via
+    /// [`with_site`](Self::with_site), setting `site.trace` to a
+    /// [`TraceLog::with_sampling`] log) this stays O(sites ×
+    /// capacity) no matter how many events the run executes.
+    pub fn retained_trace_entries(&mut self) -> usize {
+        self.sites
+            .iter_mut()
+            .map(|s| s.get_mut().expect("site lock poisoned").state.trace.len())
+            .sum()
+    }
+
+    /// Sum of `trace.sampled` over all sites' logs (0 when no site
+    /// samples).
+    pub fn sampled_trace_entries(&mut self) -> u64 {
+        self.sites
+            .iter_mut()
+            .map(|s| {
+                s.get_mut()
+                    .expect("site lock poisoned")
+                    .state
+                    .trace
+                    .sampled()
+            })
+            .sum()
+    }
+
     /// FNV-1a digest over every site's trace digest, in site-id order
     /// — the sharded golden-trace anchor.
     pub fn trace_digest(&mut self) -> u64 {

@@ -5,16 +5,77 @@
 //! sequences (e.g. "the VM image blocks were fetched before the guest
 //! booted"). The recorder is bounded so long simulations cannot
 //! exhaust memory.
+//!
+//! At macro scale even the bounded ring is too much history to keep
+//! *usefully* — a million-session run wraps it thousands of times
+//! over, so what survives is an arbitrary tail. A sampled log
+//! ([`TraceLog::with_sampling`]) keeps a deterministic stratified
+//! subset instead: each category keeps `rate_per_mille / 1000` of its
+//! entries, chosen by a seeded hash of `(seed, category, sequence)` —
+//! a pure function of the stream, so two runs of the same world (at
+//! any shard/thread packing) retain byte-identical entries and the
+//! golden tests can pin a digest over the sampled stream.
 
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fmt;
 
+use crate::sample::keep_per_mille;
 use crate::time::SimTime;
 
 use crate::metrics::Counter;
 
 /// Entries discarded by bounded trace logs (hot when a log wraps).
 static TRACE_DROPPED: Counter = Counter::new("trace.dropped");
+
+/// Entries retained by sampling trace logs.
+static TRACE_SAMPLED: Counter = Counter::new("trace.sampled");
+
+/// Per-category sampling rates for a sampled [`TraceLog`].
+///
+/// Rates are per-mille (0 = drop all, 1000 = keep all); categories
+/// without an explicit override use the default rate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SamplePolicy {
+    default_per_mille: u32,
+    per_category: BTreeMap<&'static str, u32>,
+}
+
+impl SamplePolicy {
+    /// A uniform policy: every category samples at `per_mille`.
+    pub fn uniform(per_mille: u32) -> Self {
+        SamplePolicy {
+            default_per_mille: per_mille.min(1000),
+            per_category: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides one category's rate (builder-style). Categories
+    /// carrying rare, high-value events (completions, faults) keep
+    /// more; chatty step-level categories keep less.
+    pub fn with_category(mut self, category: &'static str, per_mille: u32) -> Self {
+        self.per_category.insert(category, per_mille.min(1000));
+        self
+    }
+
+    /// The effective per-mille rate for a category.
+    pub fn rate_for(&self, category: &str) -> u32 {
+        self.per_category
+            .get(category)
+            .copied()
+            .unwrap_or(self.default_per_mille)
+    }
+}
+
+/// The sampling state of a sampled log: the policy, the decision
+/// seed, and a per-category sequence counter (bounded by the number
+/// of distinct categories, not the entry volume).
+#[derive(Clone, Debug)]
+struct Sampler {
+    policy: SamplePolicy,
+    seed: u64,
+    seq: BTreeMap<&'static str, u64>,
+}
 
 /// A single trace entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,7 +111,9 @@ pub struct TraceLog {
     entries: VecDeque<TraceEntry>,
     capacity: usize,
     dropped: u64,
+    sampled: u64,
     enabled: bool,
+    sampler: Option<Sampler>,
 }
 
 impl Default for TraceLog {
@@ -71,8 +134,29 @@ impl TraceLog {
             entries: VecDeque::with_capacity(capacity.min(1024)),
             capacity,
             dropped: 0,
+            sampled: 0,
             enabled: true,
+            sampler: None,
         }
+    }
+
+    /// Creates a sampling log: entries pass the seeded stratified
+    /// keep decision ([`keep_per_mille`]) at their category's policy
+    /// rate before entering the ring; the rest count as dropped.
+    /// Retention is a pure function of `(policy, seed, stream)` —
+    /// sampled digests are reproducible and shard/thread invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_sampling(capacity: usize, policy: SamplePolicy, seed: u64) -> Self {
+        let mut log = TraceLog::with_capacity(capacity);
+        log.sampler = Some(Sampler {
+            policy,
+            seed,
+            seq: BTreeMap::new(),
+        });
+        log
     }
 
     /// Like [`with_capacity`](TraceLog::with_capacity), but reserves
@@ -91,7 +175,9 @@ impl TraceLog {
             entries: VecDeque::with_capacity(capacity),
             capacity,
             dropped: 0,
+            sampled: 0,
             enabled: true,
+            sampler: None,
         }
     }
 
@@ -106,10 +192,25 @@ impl TraceLog {
         self.enabled
     }
 
-    /// Appends an entry, evicting the oldest when full.
+    /// Appends an entry, evicting the oldest when full. On a sampling
+    /// log the entry first passes its category's keep decision;
+    /// sampled-out entries count as dropped (surfaced by experiment
+    /// summaries, like ring evictions).
     pub fn record(&mut self, time: SimTime, category: &'static str, message: String) {
         if !self.enabled {
             return;
+        }
+        if let Some(s) = &mut self.sampler {
+            let seq = s.seq.entry(category).or_insert(0);
+            let keep = keep_per_mille(s.seed, category, *seq, s.policy.rate_for(category));
+            *seq += 1;
+            if !keep {
+                self.dropped += 1;
+                TRACE_DROPPED.add(1);
+                return;
+            }
+            self.sampled += 1;
+            TRACE_SAMPLED.add(1);
         }
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
@@ -138,9 +239,21 @@ impl TraceLog {
         self.entries.iter().filter(move |e| e.category == category)
     }
 
-    /// How many entries have been evicted due to the capacity bound.
+    /// How many entries have been discarded — ring evictions plus, on
+    /// a sampling log, entries the keep decision rejected.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// How many entries a sampling log has retained through its keep
+    /// decision (0 on an unsampled log).
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+
+    /// True when this log samples its input stream.
+    pub fn is_sampling(&self) -> bool {
+        self.sampler.is_some()
     }
 
     /// Number of retained entries.
@@ -255,6 +368,66 @@ mod tests {
             TraceLog::with_capacity(1).digest(),
             "empty logs share the offset basis"
         );
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic_and_stratified() {
+        let run = |seed| {
+            let policy = SamplePolicy::uniform(100).with_category("vo", 500);
+            let mut log = TraceLog::with_sampling(4096, policy, seed);
+            for i in 0..2000u64 {
+                log.record(t(i), "vo", format!("s{i}"));
+                log.record(t(i), "chatty", format!("c{i}"));
+            }
+            (log.digest(), log.sampled(), log.dropped(), log.len())
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "pure function of the seed and stream");
+        assert_ne!(a.0, run(43).0, "different seed keeps a different set");
+        let (_, sampled, dropped, len) = a;
+        assert_eq!(sampled + dropped, 4000, "every record accounted for");
+        assert_eq!(len as u64, sampled, "nothing evicted below capacity");
+        // "vo" keeps ~50%, "chatty" ~10%: total ~1200 of 4000.
+        assert!((900..1500).contains(&sampled), "sampled {sampled}");
+    }
+
+    #[test]
+    fn sampling_rates_zero_and_full() {
+        let mut none = TraceLog::with_sampling(64, SamplePolicy::uniform(0), 1);
+        let mut all = TraceLog::with_sampling(64, SamplePolicy::uniform(1000), 1);
+        for i in 0..50u64 {
+            none.record(t(i), "x", "m".into());
+            all.record(t(i), "x", "m".into());
+        }
+        assert!(none.is_empty());
+        assert_eq!(none.dropped(), 50);
+        assert_eq!(all.len(), 50);
+        assert_eq!(all.sampled(), 50);
+        assert_eq!(all.dropped(), 0);
+        assert!(all.is_sampling());
+        assert!(!TraceLog::default().is_sampling());
+        assert_eq!(TraceLog::default().sampled(), 0);
+    }
+
+    #[test]
+    fn sampled_log_still_bounds_the_ring() {
+        let mut log = TraceLog::with_sampling(8, SamplePolicy::uniform(1000), 1);
+        for i in 0..20u64 {
+            log.record(t(i), "x", format!("m{i}"));
+        }
+        assert_eq!(log.len(), 8, "ring bound still applies");
+        assert_eq!(log.sampled(), 20);
+        assert_eq!(log.dropped(), 12, "evictions counted");
+    }
+
+    #[test]
+    fn policy_rates_resolve_per_category() {
+        let p = SamplePolicy::uniform(50).with_category("vo", 1000);
+        assert_eq!(p.rate_for("vo"), 1000);
+        assert_eq!(p.rate_for("other"), 50);
+        let clamped = SamplePolicy::uniform(5000).with_category("c", 9999);
+        assert_eq!(clamped.rate_for("c"), 1000);
+        assert_eq!(clamped.rate_for("d"), 1000);
     }
 
     #[test]

@@ -169,6 +169,54 @@ impl SiteTopology {
         }
         topo
     }
+
+    /// The macro-scale virtual organization: `regions × per_region`
+    /// sites, fully meshed, with metro-area latencies inside a region
+    /// (`[5, 8)` ms) and WAN latencies between regions (`[20, 45)`
+    /// ms), both deterministic per site pair. The lookahead stays at
+    /// 5 ms — the conservative synchronizer's window — while most of
+    /// the mesh pays a genuine wide-area price, which is what makes
+    /// latency-aware placement policies distinguishable at scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn regional_vo(regions: u32, per_region: u32) -> Self {
+        assert!(
+            regions > 0 && per_region > 0,
+            "a regional VO needs at least one region and one site per region"
+        );
+        let n = regions * per_region;
+        let mut topo = SiteTopology::new();
+        for i in 0..n {
+            topo.add_site(&format!("r{}-s{}", i / per_region, i % per_region));
+        }
+        let wan = Bandwidth::from_mbit_per_sec(100.0);
+        let metro = Bandwidth::from_mbit_per_sec(1000.0);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (ra, rb) = (a / per_region, b / per_region);
+                let (ms, bw) = if ra == rb {
+                    (5 + (u64::from(a) + u64::from(b)) % 3, metro)
+                } else {
+                    (
+                        20 + (u64::from(ra) * 5
+                            + u64::from(rb) * 11
+                            + u64::from(a) * 3
+                            + u64::from(b) * 7)
+                            % 25,
+                        wan,
+                    )
+                };
+                topo.connect(
+                    SiteId(a),
+                    SiteId(b),
+                    NetLink::new(SimDuration::from_millis(ms), bw),
+                );
+            }
+        }
+        topo
+    }
 }
 
 /// Normalizes a site pair to its `(lo, hi)` key.
@@ -258,6 +306,33 @@ mod tests {
             ]
         );
         assert_eq!(topo.partition(8).len(), 5, "clamped to site count");
+    }
+
+    #[test]
+    fn regional_vo_separates_metro_and_wan_latencies() {
+        let topo = SiteTopology::regional_vo(3, 4);
+        assert_eq!(topo.sites(), 12);
+        assert_eq!(topo.name(SiteId(0)), "r0-s0");
+        assert_eq!(topo.name(SiteId(5)), "r1-s1");
+        for a in 0..12u32 {
+            for b in (a + 1)..12u32 {
+                let lat = topo.latency(SiteId(a), SiteId(b)).expect("meshed");
+                if a / 4 == b / 4 {
+                    assert!(lat >= SimDuration::from_millis(5), "{a}->{b}: {lat}");
+                    assert!(lat < SimDuration::from_millis(8), "{a}->{b}: {lat}");
+                } else {
+                    assert!(lat >= SimDuration::from_millis(20), "{a}->{b}: {lat}");
+                    assert!(lat < SimDuration::from_millis(45), "{a}->{b}: {lat}");
+                }
+            }
+        }
+        assert_eq!(topo.lookahead(), Some(SimDuration::from_millis(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one region")]
+    fn regional_vo_rejects_empty_dimensions() {
+        let _ = SiteTopology::regional_vo(0, 4);
     }
 
     #[test]

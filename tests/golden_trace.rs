@@ -144,6 +144,57 @@ fn sharded_golden_vo_digest_is_pinned() {
 }
 
 #[test]
+fn sampled_golden_vo_scale_digest_is_pinned() {
+    // The sampled-trace anchor: a small macro-scale VO (2 regions ×
+    // 3 sites, 600 sessions, canonical seed) with per-site reservoir
+    // rings and stratified sampling must keep producing exactly this
+    // digest and this sampled/dropped split. Any change to the
+    // sampling hash, seed-stream derivation, or the scale world's
+    // event order shows up here first; re-pin from the failure output
+    // only when that change is intentional.
+    use gridvm::core::multisite::{build_vo_scale, VoScaleConfig};
+
+    let cfg = VoScaleConfig {
+        regions: 2,
+        sites_per_region: 3,
+        sessions: 600,
+        steps_per_session: 8,
+        trace_capacity: 64,
+        trace_rate_per_mille: 100,
+        ..VoScaleConfig::reference()
+    };
+    let run = |shards: usize| {
+        let mut sim = build_vo_scale(&cfg).shards(shards);
+        metrics::reset();
+        sim.run();
+        metrics::reset();
+        let m = sim.merged_metrics();
+        (
+            sim.trace_digest(),
+            sim.retained_trace_entries(),
+            m.counter("trace.sampled"),
+            m.counter("trace.dropped"),
+            m.counter("vo.sessions_completed"),
+            m.histogram("vo.slowdown_x1000").expect("histogram").p99(),
+        )
+    };
+    let got = run(1);
+    assert_eq!(got, run(4), "shard packing changed the sampled history");
+    let (digest, retained, sampled, dropped, completed, p99) = got;
+    assert_eq!(completed, 600, "every session completes exactly once");
+    assert_eq!(
+        sampled + dropped,
+        600,
+        "one sampling decision per completion"
+    );
+    assert_eq!(
+        (digest, retained, sampled, dropped, p99),
+        (0xd9be_3b1f_884d_fd45, 53, 53, 547, 43_007),
+        "sampled golden drifted"
+    );
+}
+
+#[test]
 fn golden_scenario_reproduces_itself() {
     let (a, ta) = run_golden();
     let (b, tb) = run_golden();

@@ -1,0 +1,153 @@
+//! Macro-scale soak: a 100 000-session virtual organization must run
+//! with observability state bounded by the number of *sites* — never
+//! the number of sessions — and produce bit-identical metrics, trace
+//! digests, and per-site checksums at every shard/thread packing.
+//! This is the memory-bounded counterpart of `tests/determinism.rs`:
+//! the same claims, held at the scale where per-session bookkeeping
+//! would blow up.
+
+use gridvm::core::multisite::{build_vo_scale, Placement, VoScaleConfig};
+use gridvm::simcore::metrics::{self, Metrics};
+
+const SESSIONS: u64 = 100_000;
+
+/// Kept fast enough for debug-profile CI: short sessions, one work
+/// draw per step, but the full diurnal + flash-crowd arrival shape
+/// over 8 regions × 6 sites.
+fn soak_config() -> VoScaleConfig {
+    VoScaleConfig {
+        sessions: SESSIONS,
+        steps_per_session: 4,
+        work_draws: 1,
+        ..VoScaleConfig::reference()
+    }
+}
+
+struct SoakRun {
+    digest: u64,
+    metrics: Metrics,
+    checksums: Vec<u64>,
+    retained: usize,
+    sampled: u64,
+}
+
+fn run(shards: usize, threads: usize) -> SoakRun {
+    let cfg = soak_config();
+    let mut sim = build_vo_scale(&cfg).shards(shards).threads(threads);
+    metrics::reset();
+    sim.run();
+    metrics::reset();
+    let merged = sim.merged_metrics();
+    let checksums: Vec<u64> = (0..cfg.sites() as usize)
+        .map(|i| sim.with_site(i, |s, _| s.world.checksum))
+        .collect();
+    SoakRun {
+        digest: sim.trace_digest(),
+        metrics: merged,
+        checksums,
+        retained: sim.retained_trace_entries(),
+        sampled: sim.sampled_trace_entries(),
+    }
+}
+
+#[test]
+fn hundred_thousand_sessions_stay_bounded_and_invariant() {
+    let cfg = soak_config();
+    let base = run(1, 1);
+
+    // Every session completed; observability stayed O(sites).
+    assert_eq!(base.metrics.counter("vo.sessions_completed"), SESSIONS);
+    assert_eq!(base.metrics.counter("vo.arrivals"), SESSIONS);
+    assert_eq!(
+        base.metrics.counter("vo.hops"),
+        base.metrics.counter("vo.hops_in"),
+        "no lost hops"
+    );
+    assert!(
+        base.metrics.tracked_entries() < 32,
+        "metric keyspace grew with session count: {} entries",
+        base.metrics.tracked_entries()
+    );
+    assert!(
+        base.retained <= cfg.sites() as usize * cfg.trace_capacity,
+        "trace rings exceeded their per-site capacity"
+    );
+    assert_eq!(
+        base.metrics.counter("trace.sampled") + base.metrics.counter("trace.dropped"),
+        SESSIONS,
+        "one sampling decision per completion"
+    );
+    assert_eq!(base.sampled, base.metrics.counter("trace.sampled"));
+
+    // The slowdown histogram saw every session and stayed ordered.
+    let slowdown = base
+        .metrics
+        .histogram("vo.slowdown_x1000")
+        .expect("slowdown histogram");
+    assert_eq!(slowdown.count(), SESSIONS);
+    assert!(slowdown.min() >= 1000, "slowdown is ≥ 1x by construction");
+    assert!(slowdown.p99() >= slowdown.p50());
+
+    // Bit-identical across shard and thread packings.
+    for (shards, threads) in [(1, 8), (4, 1), (4, 8)] {
+        let other = run(shards, threads);
+        assert_eq!(
+            other.digest, base.digest,
+            "trace digest diverged at shards={shards} threads={threads}"
+        );
+        assert_eq!(
+            other.metrics, base.metrics,
+            "metrics diverged at shards={shards} threads={threads}"
+        );
+        assert_eq!(
+            other.checksums, base.checksums,
+            "world checksums diverged at shards={shards} threads={threads}"
+        );
+        assert_eq!(other.retained, base.retained);
+    }
+}
+
+#[test]
+fn soak_world_reproduces_per_seed_and_varies_across_seeds() {
+    let with_seed = |seed: u64| {
+        let cfg = VoScaleConfig {
+            sessions: 2_000,
+            seed,
+            ..soak_config()
+        };
+        let mut sim = build_vo_scale(&cfg).shards(4).threads(2);
+        metrics::reset();
+        sim.run();
+        metrics::reset();
+        (sim.trace_digest(), sim.merged_metrics())
+    };
+    assert_eq!(with_seed(7), with_seed(7));
+    assert_ne!(with_seed(7).0, with_seed(8).0, "seed must matter");
+}
+
+#[test]
+fn placement_changes_the_flow_but_not_the_accounting() {
+    for placement in Placement::ALL {
+        let cfg = VoScaleConfig {
+            sessions: 2_000,
+            placement,
+            ..soak_config()
+        };
+        let mut sim = build_vo_scale(&cfg).shards(4).threads(2);
+        metrics::reset();
+        sim.run();
+        metrics::reset();
+        let m = sim.merged_metrics();
+        assert_eq!(
+            m.counter("vo.sessions_completed"),
+            cfg.sessions,
+            "{} lost sessions",
+            placement.label()
+        );
+        assert!(
+            m.tracked_entries() < 32,
+            "{} grew the metric keyspace",
+            placement.label()
+        );
+    }
+}
