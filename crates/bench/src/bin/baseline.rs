@@ -22,6 +22,7 @@
 use std::time::Instant;
 
 use gridvm_bench::harness::{self, m, Experiment, Measurement, Options, SampleCtx, Scenario};
+use gridvm_bench::regional::{build_handoff, HandoffConfig};
 use gridvm_core::multisite::{build_vo, VoConfig};
 use gridvm_simcore::engine::Engine;
 use gridvm_simcore::event::EventQueue;
@@ -40,7 +41,7 @@ use gridvm_vnet::overlay::{NodeId, Overlay};
 struct Baseline;
 
 /// Scenario labels; `run_sample` dispatches on index.
-const SCENARIOS: [&str; 11] = [
+const SCENARIOS: [&str; 12] = [
     "engine: chained events",
     "queue: push+pop random times",
     "queue: push/cancel/drain mix",
@@ -52,6 +53,7 @@ const SCENARIOS: [&str; 11] = [
     "shard: cross-shard mailbox churn",
     "shard: 4-site speedup 1 vs 4 shards",
     "metrics: histogram record+merge",
+    "shard: regional per-pair windows",
 ];
 
 /// Events/operations per sample at full size (quick mode divides by
@@ -324,6 +326,50 @@ impl Experiment for Baseline {
                 assert!(merged.p999() >= merged.p50());
                 (n, started.elapsed())
             }
+            11 => {
+                // The per-pair window payoff on a regional VO: the
+                // bursty handoff workload run under the global
+                // synchronizer and again under the per-pair matrix.
+                // Histories must match bit-for-bit; the sample records
+                // the per-pair throughput plus the barrier-window
+                // reduction, which the bench gate holds at >= 3x.
+                let cfg = HandoffConfig {
+                    legs: (n / (6 * 24)).max(8) as u32,
+                    ..HandoffConfig::reference()
+                };
+                let mut global = build_handoff(&HandoffConfig {
+                    per_pair_lookahead: false,
+                    ..cfg
+                })
+                .shards(4)
+                .threads(1);
+                global.run();
+                let started = Instant::now();
+                let mut paired = build_handoff(&cfg).shards(4).threads(1);
+                paired.run();
+                let wall = started.elapsed();
+                assert_eq!(
+                    global.trace_digest(),
+                    paired.trace_digest(),
+                    "per-pair lookahead changed the history"
+                );
+                assert_eq!(global.total_events(), paired.total_events());
+                assert!(
+                    paired.windows() * 3 <= global.windows(),
+                    "window reduction regressed: {} vs {}",
+                    paired.windows(),
+                    global.windows()
+                );
+                let secs = wall.as_secs_f64().max(1e-9);
+                return vec![
+                    m("ops_per_sec", paired.total_events() as f64 / secs),
+                    m("wall_us", secs * 1e6),
+                    m(
+                        "window_reduction_x",
+                        global.windows() as f64 / paired.windows().max(1) as f64,
+                    ),
+                ];
+            }
             other => unreachable!("unknown scenario {other}"),
         };
         let secs = elapsed.as_secs_f64().max(1e-9);
@@ -345,6 +391,12 @@ impl Experiment for Baseline {
                 "\nshard speedup at 4 shards: {:.2}x wall on this machine, {:.2}x critical-path model",
                 shard.mean("speedup_wall_x"),
                 shard.mean("speedup_model_x"),
+            ));
+        }
+        if let Some(regional) = report.scenario(SCENARIOS[11]) {
+            line.push_str(&format!(
+                "\nper-pair lookahead on regional VO: {:.1}x fewer barrier windows at identical history",
+                regional.mean("window_reduction_x"),
             ));
         }
         Some(line)

@@ -34,3 +34,4 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod regional;

@@ -271,11 +271,26 @@ impl<W> Engine<W> {
         self.schedule_event_now(Event::Arg(arg, f))
     }
 
+    /// Schedules a function pointer carrying two words of state at the
+    /// absolute instant `at` — fully inline, no allocation. This is
+    /// the widest inline shape, and the one the sharded mailbox drain
+    /// uses to deliver encoded cross-site messages without boxing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current clock.
+    pub fn schedule_arg2_at(
+        &mut self,
+        at: SimTime,
+        arg: [u64; 2],
+        f: fn([u64; 2], &mut W, &mut Engine<W>),
+    ) -> EventId {
+        self.schedule_event_at(at, Event::Arg2(arg, f))
+    }
+
     /// Schedules a function pointer carrying two words of state
     /// `delay` after the current instant — fully inline, no
-    /// allocation. (An `_at`/`_now` pair can be spelled through
-    /// [`schedule_event_at`](Engine::schedule_event_at) with
-    /// [`Event::Arg2`].)
+    /// allocation.
     pub fn schedule_arg2_in(
         &mut self,
         delay: SimDuration,
@@ -283,6 +298,16 @@ impl<W> Engine<W> {
         f: fn([u64; 2], &mut W, &mut Engine<W>),
     ) -> EventId {
         self.schedule_event_in(delay, Event::Arg2(arg, f))
+    }
+
+    /// Schedules a function pointer carrying two words of state at the
+    /// current instant — fully inline, no allocation.
+    pub fn schedule_arg2_now(
+        &mut self,
+        arg: [u64; 2],
+        f: fn([u64; 2], &mut W, &mut Engine<W>),
+    ) -> EventId {
+        self.schedule_event_now(Event::Arg2(arg, f))
     }
 
     /// Cancels a pending event. Returns `true` if it had not yet run.
@@ -392,6 +417,16 @@ impl<W> Engine<W> {
     /// safe-advance minimum.
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.queue.earliest_time()
+    }
+
+    /// [`next_event_time`](Engine::next_event_time) for exclusive
+    /// owners: may activate (and lazily sort) the queue's front
+    /// bucket, so the window loop's repeated peeks cost O(1) instead
+    /// of rescanning the front bucket each time. The activation work
+    /// is the same the next pop would have done; results never
+    /// differ from `next_event_time`.
+    pub fn peek_next_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
     }
 
     /// Runs at most `max_events` events; returns how many ran.

@@ -62,6 +62,17 @@ const WHEEL_SPAN_NS: u64 = (WHEEL_BUCKETS as u64) << GRANULE_BITS;
 /// Words in the bucket-occupancy bitmap.
 const WHEEL_WORDS: usize = WHEEL_BUCKETS / 64;
 
+/// Pending-set size below which pushes bypass the wheel entirely: a
+/// d-ary heap of a few dozen 24-byte entries spans a handful of cache
+/// lines, which beats touching the wheel's scattered bucket vectors
+/// when many queues share a cache (the sharded window loop revisits
+/// every site's queue once per window). The wheel engages — via
+/// [`EventQueue::insert_entry`] routing and the refill in
+/// [`EventQueue::front`] — once the heap outgrows this. Ordering is
+/// unaffected either way: pop order is the `(time, seq)` minimum in
+/// both structures.
+const WHEEL_ENGAGE: usize = 64;
+
 /// Identifies a scheduled event, for cancellation.
 ///
 /// The handle packs the event's arena slot in the low 32 bits and the
@@ -187,6 +198,10 @@ pub struct EventQueue<E> {
     /// (so its minimum is at the back).
     cursor_sorted: bool,
     wheel_enabled: bool,
+    /// Heap size at which pushes start routing to the wheel; see
+    /// [`WHEEL_ENGAGE`]. [`EventQueue::with_wheel`] sets 1 so the
+    /// wheel paths stay exercised by tiny test/bench queues.
+    wheel_engage: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -219,6 +234,7 @@ impl<E> EventQueue<E> {
             cursor: 0,
             cursor_sorted: false,
             wheel_enabled,
+            wheel_engage: WHEEL_ENGAGE,
         }
     }
 
@@ -230,10 +246,14 @@ impl<E> EventQueue<E> {
     }
 
     /// Creates an empty queue with the timing wheel forced on,
-    /// regardless of feature flags. Used by benches and the
-    /// wheel-vs-heap equivalence tests.
+    /// regardless of feature flags, and engaging from the second
+    /// pending event (instead of waiting for [`WHEEL_ENGAGE`]). Used
+    /// by benches and the wheel-vs-heap equivalence tests, which want
+    /// the wheel paths exercised even by small queues.
     pub fn with_wheel() -> Self {
-        Self::with_wheel_enabled(true)
+        let mut q = Self::with_wheel_enabled(true);
+        q.wheel_engage = 1;
+        q
     }
 
     /// Creates an empty queue that keeps every entry in the d-ary heap
@@ -396,13 +416,13 @@ impl<E> EventQueue<E> {
     #[inline]
     fn insert_entry(&mut self, entry: Entry) {
         if self.wheel_enabled {
-            // A push into a completely empty queue goes to the heap
-            // root: a lone event pops from there in O(1), cheaper than
-            // any bucket bookkeeping. This keeps the
-            // one-event-in-flight chain — the dominant shape of the
-            // engine's chained-event loop — on the leanest path; the
-            // wheel engages once two or more events are pending.
-            if self.wheel_len == 0 && self.heap.is_empty() {
+            // Small queues stay on the heap: a lone event (the
+            // one-in-flight chain steady state) pops from the root in
+            // O(1), and anything under the engage threshold fits in a
+            // few cache lines where bucket bookkeeping would only add
+            // footprint. Routing to the wheel resumes as soon as it
+            // holds entries or the heap outgrows the threshold.
+            if self.wheel_len == 0 && self.heap.len() < self.wheel_engage {
                 self.heap_insert(entry);
                 return;
             }
@@ -618,10 +638,11 @@ impl<E> EventQueue<E> {
         if self.wheel_len == 0 {
             // Heap-only fast path: with nothing staged in buckets
             // there is no activation or key comparison to do. Refill
-            // only pays off with at least two heap entries — a lone
-            // event (the one-in-flight chain steady state) pops from
-            // the heap root in O(1) without migrating.
-            if !self.wheel_enabled || self.heap.len() <= 1 {
+            // only pays off with at least two heap entries, and only
+            // once the heap outgrows the engage threshold — below
+            // that the whole pending set pops from the heap without
+            // migrating (see [`WHEEL_ENGAGE`] for the rationale).
+            if !self.wheel_enabled || self.heap.len() <= 1 || self.heap.len() < self.wheel_engage {
                 return if self.heap.is_empty() {
                     None
                 } else {

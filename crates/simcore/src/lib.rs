@@ -43,6 +43,9 @@
 //!   thread-local per-replication context and merged across
 //!   replications; pre-resolved [`metrics::Counter`] handles keep
 //!   hot-loop increments off the string-keyed path.
+//! * [`lookahead`] — the all-pairs minimum-latency closure
+//!   ([`LookaheadMatrix`](lookahead::LookaheadMatrix)) behind the
+//!   sharded synchronizer's per-(src,dst) window protocol.
 //! * [`lru`] — the shared O(1) intrusive LRU set
 //!   ([`LruSet`](lru::LruSet)) under the proxy and buffer-cache block
 //!   caches.
@@ -93,6 +96,7 @@ pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod hist;
+pub mod lookahead;
 pub mod lru;
 pub mod metrics;
 pub mod replication;
@@ -109,6 +113,7 @@ pub mod units;
 pub use engine::Engine;
 pub use fault::{FaultFeed, FaultKind, FaultPlan};
 pub use hist::Histogram;
+pub use lookahead::LookaheadMatrix;
 pub use lru::LruSet;
 pub use metrics::Metrics;
 pub use replication::{ReplicationCtx, ReplicationRunner};

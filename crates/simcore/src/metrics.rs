@@ -218,6 +218,12 @@ thread_local! {
     /// harvest. Hot-loop increments touch only this vector — no
     /// string hash, no `BTreeMap` walk.
     static FAST_COUNTERS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread snapshot of [`COUNTER_REGISTRY`]: slot → name.
+    /// Refreshed (under the registry lock) only when a harvest sees
+    /// cells beyond the snapshot, so steady-state harvests — the
+    /// sharded synchronizer does one per site per window — stay
+    /// entirely lock-free.
+    static REGISTRY_CACHE: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Global slot registry backing [`Counter`] handles: slot index →
@@ -294,13 +300,20 @@ fn drain_fast(m: &mut Metrics) {
         if cells.iter().all(|&v| v == 0) {
             return;
         }
-        let reg = COUNTER_REGISTRY.lock().expect("counter registry poisoned");
-        for (slot, v) in cells.iter_mut().enumerate() {
-            if *v != 0 {
-                m.counter_add(reg[slot], *v);
-                *v = 0;
+        REGISTRY_CACHE.with(|rc| {
+            let mut cache = rc.borrow_mut();
+            if cache.len() < cells.len() {
+                let reg = COUNTER_REGISTRY.lock().expect("counter registry poisoned");
+                cache.clear();
+                cache.extend(reg.iter().copied());
             }
-        }
+            for (slot, v) in cells.iter_mut().enumerate() {
+                if *v != 0 {
+                    m.counter_add(cache[slot], *v);
+                    *v = 0;
+                }
+            }
+        });
     });
 }
 
@@ -338,6 +351,100 @@ pub fn take() -> Metrics {
     let mut m = CONTEXT.with(|c| std::mem::take(&mut *c.borrow_mut()));
     drain_fast(&mut m);
     m
+}
+
+/// Swaps this thread's context with `m` after folding pre-resolved
+/// [`Counter`] cells into the outgoing context — so all activity up
+/// to this call stays with the registry that was installed while it
+/// happened.
+///
+/// This is the allocation-free alternative to [`take`] + [`merge`]
+/// (Metrics::merge) for code that repeatedly runs work on behalf of
+/// different owners on one thread: the sharded synchronizer swaps
+/// each site's accumulated registry in before executing its window
+/// and back out after, a pair of pointer-sized moves per window
+/// instead of a `BTreeMap` rebuild.
+pub fn swap(m: &mut Metrics) {
+    CONTEXT.with(|c| {
+        let mut ctx = c.borrow_mut();
+        drain_fast(&mut ctx);
+        std::mem::swap(&mut *ctx, m);
+    });
+}
+
+/// Harvests this thread's metrics activity since the last harvest
+/// directly into `m`: pre-resolved [`Counter`] cells fold straight in,
+/// and any slow-path context activity (string-keyed counters, gauges,
+/// timers, histograms) is folded in and cleared.
+///
+/// This is the cheapest per-owner harvest — one pass over the cells,
+/// no context exchange — for callers that guarantee the ambient
+/// context is empty when the owner's activity begins. The sharded
+/// synchronizer qualifies: its run saves the ambient context up
+/// front, so between harvests the context only ever holds the current
+/// owner's slow-path spillover. Callers without that guarantee want
+/// [`swap`], which keeps the owner's registry installed while its
+/// work runs.
+pub fn harvest_into(m: &mut Metrics) {
+    drain_fast(m);
+    spill_context_into(m);
+}
+
+/// Drains this thread's fast-counter cells into a plain slot-indexed
+/// accumulator, growing `acc` to cover every cell and zeroing the
+/// cells — no name resolution, no map walk, just array adds. The
+/// accumulator materializes into named counters via [`fold_cells`],
+/// typically once at the end of the owner's run; between the two, the
+/// same empty-ambient-context precondition as [`harvest_into`]
+/// applies. Callers that also use slow-path metrics pair this with
+/// [`spill_context_into`].
+pub fn drain_fast_cells(acc: &mut Vec<u64>) {
+    FAST_COUNTERS.with(|f| {
+        let mut cells = f.borrow_mut();
+        if cells.len() > acc.len() {
+            acc.resize(cells.len(), 0);
+        }
+        for (a, v) in acc.iter_mut().zip(cells.iter_mut()) {
+            *a += std::mem::take(v);
+        }
+    });
+}
+
+/// Folds a slot-indexed accumulator filled by [`drain_fast_cells`]
+/// into `m` by registry name, zeroing it.
+pub fn fold_cells(acc: &mut [u64], m: &mut Metrics) {
+    if acc.iter().all(|&v| v == 0) {
+        return;
+    }
+    REGISTRY_CACHE.with(|rc| {
+        let mut cache = rc.borrow_mut();
+        if cache.len() < acc.len() {
+            let reg = COUNTER_REGISTRY.lock().expect("counter registry poisoned");
+            cache.clear();
+            cache.extend(reg.iter().copied());
+        }
+        for (slot, v) in acc.iter_mut().enumerate() {
+            if *v != 0 {
+                m.counter_add(cache[slot], *v);
+                *v = 0;
+            }
+        }
+    });
+}
+
+/// Folds any slow-path context activity (string-keyed counters,
+/// gauges, timers, histograms) into `m` and clears it; fast-counter
+/// cells are untouched. The context half of [`harvest_into`], for
+/// callers that route the fast cells through [`drain_fast_cells`]
+/// instead.
+pub fn spill_context_into(m: &mut Metrics) {
+    CONTEXT.with(|c| {
+        let mut ctx = c.borrow_mut();
+        if !ctx.is_empty() {
+            m.merge(&ctx);
+            *ctx = Metrics::new();
+        }
+    });
 }
 
 /// Runs `f` with a read view of this thread's context, including any

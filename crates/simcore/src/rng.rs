@@ -103,8 +103,22 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn next_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "next_below: zero bound");
-        // Lemire-style rejection to avoid modulo bias.
+        // Lemire-style rejection to avoid modulo bias. The rejection
+        // threshold is `2^64 mod bound`, which is < bound — so a low
+        // word at or above `bound` is accepted without ever computing
+        // the threshold, keeping the 64-bit division off the common
+        // path. The accepted draw sequence is identical to always
+        // computing it.
+        let r = self.next_u64();
+        let wide = u128::from(r) * u128::from(bound);
+        let (hi, lo) = ((wide >> 64) as u64, wide as u64);
+        if lo >= bound {
+            return hi;
+        }
         let threshold = bound.wrapping_neg() % bound;
+        if lo >= threshold {
+            return hi;
+        }
         loop {
             let r = self.next_u64();
             let (hi, lo) = {

@@ -26,6 +26,7 @@
 
 use std::collections::BTreeMap;
 
+use gridvm_simcore::lookahead::LookaheadMatrix;
 use gridvm_simcore::shard::SiteId;
 use gridvm_simcore::time::SimDuration;
 use gridvm_simcore::units::Bandwidth;
@@ -111,6 +112,18 @@ impl SiteTopology {
     /// synchronization).
     pub fn lookahead(&self) -> Option<SimDuration> {
         self.links.values().map(NetLink::latency).min()
+    }
+
+    /// The per-(src,dst) lookahead matrix: the all-pairs
+    /// minimum-latency closure of the site graph, ready to install on
+    /// a sharded sim with
+    /// [`ShardedSim::per_pair_lookahead`](gridvm_simcore::shard::ShardedSim::per_pair_lookahead).
+    /// Where [`Self::lookahead`] collapses the topology to one global
+    /// constant, the matrix keeps each pair's true bound — on a
+    /// regional topology the WAN pairs contribute windows 4–9× wider
+    /// than the metro minimum.
+    pub fn lookahead_matrix(&self) -> LookaheadMatrix {
+        LookaheadMatrix::shortest_paths(self.sites(), |a, b| self.latency(a, b))
     }
 
     /// Round-robin partition of sites into `shards` groups by
@@ -327,6 +340,40 @@ mod tests {
             }
         }
         assert_eq!(topo.lookahead(), Some(SimDuration::from_millis(5)));
+    }
+
+    #[test]
+    fn lookahead_matrix_closes_over_relay_paths() {
+        // Direct 0-1 link is 30ms, but relaying through 2 costs
+        // 4 + 4: the matrix must report the relayed bound while the
+        // scalar lookahead stays the cheapest single link.
+        let mut topo = SiteTopology::new();
+        let (a, b, c) = (topo.add_site("a"), topo.add_site("b"), topo.add_site("c"));
+        let bw = Bandwidth::from_mbit_per_sec(100.0);
+        topo.connect(a, b, NetLink::new(SimDuration::from_millis(30), bw));
+        topo.connect(a, c, NetLink::new(SimDuration::from_millis(4), bw));
+        topo.connect(b, c, NetLink::new(SimDuration::from_millis(4), bw));
+        let m = topo.lookahead_matrix();
+        assert_eq!(m.lookahead(a, b), Some(SimDuration::from_millis(8)));
+        assert_eq!(m.lookahead(a, c), Some(SimDuration::from_millis(4)));
+        assert_eq!(m.min_lookahead(), topo.lookahead());
+    }
+
+    #[test]
+    fn lookahead_matrix_agrees_with_scalar_lookahead_on_reference_vos() {
+        for topo in [
+            SiteTopology::paper_vo(6),
+            SiteTopology::regional_vo(3, 4),
+            SiteTopology::new(),
+        ] {
+            let m = topo.lookahead_matrix();
+            assert_eq!(m.sites(), topo.sites());
+            assert_eq!(m.min_lookahead(), topo.lookahead());
+        }
+        // Regional WAN pairs keep bounds well above the 5ms metro
+        // minimum — the structure the per-pair protocol exploits.
+        let m = SiteTopology::regional_vo(3, 4).lookahead_matrix();
+        assert!(m.lookahead_nanos(0, 8) >= SimDuration::from_millis(10).as_nanos());
     }
 
     #[test]
